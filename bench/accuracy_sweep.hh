@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Shared Fig. 10 / Fig. 12 harness: per-cycle accuracy (NRMSE, R^2) vs
+ * number of proxies Q for APOLLO, Lasso [53], and Simmani [40], with
+ * PRIMAL-CNN-class and PCA [79] as Q-independent reference lines (both
+ * consume all signals at inference).
+ */
+
+#ifndef APOLLO_BENCH_ACCURACY_SWEEP_HH
+#define APOLLO_BENCH_ACCURACY_SWEEP_HH
+
+#include <vector>
+
+#include "common.hh"
+
+namespace apollo::bench {
+
+/** Run and print the full sweep. */
+void runAccuracyVsQ(const Context &ctx,
+                    const std::vector<size_t> &q_values);
+
+} // namespace apollo::bench
+
+#endif // APOLLO_BENCH_ACCURACY_SWEEP_HH

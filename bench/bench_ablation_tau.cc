@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation: the APOLLO_tau interval size (§4.5). At a fixed large
+ * window (T = 64) sweep tau over divisors of T; the paper's validation
+ * picks tau = 8 as the best trade-off between per-cycle detail
+ * (small tau) and cross-cycle correlation (large tau).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.hh"
+#include "core/multi_cycle.hh"
+#include "ml/metrics.hh"
+#include "util/table.hh"
+
+using namespace apollo;
+using namespace apollo::bench;
+
+int
+main()
+{
+    Context ctx = loadContext(Design::N1ish);
+    printHeader("Ablation: tau", "interval size sweep at T=64, Q=70",
+                ctx);
+
+    const uint32_t T = 64;
+    ApolloTrainConfig cfg;
+    cfg.selection.targetQ = 70;
+
+    const auto labels =
+        windowAverageLabels(ctx.test.y, T, ctx.test.segments);
+
+    TablePrinter table({"tau", "training rows", "NRMSE @ T=64", "R2"});
+    for (uint32_t tau : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        const MultiCycleModel model =
+            trainMultiCycle(ctx.train, tau, cfg, ctx.netlist.name());
+        const auto pred =
+            model.predictWindowsFull(ctx.test.X, T, ctx.test.segments);
+        const size_t rows =
+            tau == 1 ? ctx.train.cycles()
+                     : aggregateIntervals(ctx.train, tau).intervals();
+        table.addRow({TablePrinter::integer(tau),
+                      TablePrinter::integer(
+                          static_cast<long long>(rows)),
+                      TablePrinter::percent(nrmse(labels, pred)),
+                      TablePrinter::num(r2Score(labels, pred), 4)});
+    }
+    table.render(std::cout);
+    std::printf("\n(the paper selects tau=8 on validation data and "
+                "uses it for all T in Fig. 11)\n");
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Ablation: training-data generation strategy (§4.1). Train the same
+ * Q=159 APOLLO model from four training sets of equal cycle budget:
+ *   - GA-diverse (power-uniform selection across generations — the
+ *     paper's method),
+ *   - random stimuli only (generation-0 individuals),
+ *   - virus-heavy (highest-power individuals only),
+ *   - realistic-like (a narrow band of mid-power individuals, standing
+ *     in for redundant realistic workloads).
+ * Expected: GA-diverse wins; narrow-coverage sets misestimate the
+ * benchmarks outside their band.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "common.hh"
+#include "gen/ga_generator.hh"
+#include "ml/metrics.hh"
+#include "trace/toggle_trace.hh"
+#include "util/table.hh"
+
+using namespace apollo;
+using namespace apollo::bench;
+
+namespace {
+
+Dataset
+datasetFrom(const Netlist &netlist,
+            const std::vector<GaIndividual> &individuals,
+            uint64_t cycles_each)
+{
+    DatasetBuilder builder(netlist);
+    int idx = 0;
+    for (const GaIndividual &ind : individuals)
+        builder.addProgram(GaGenerator::toProgram(
+                               ind, "b" + std::to_string(idx++), 8000),
+                           cycles_each);
+    return builder.build();
+}
+
+} // namespace
+
+int
+main()
+{
+    Context ctx = loadContext(Design::N1ish);
+    printHeader("Ablation: training data",
+                "GA-diverse vs random vs virus-only vs narrow-band",
+                ctx);
+
+    // Re-run the GA (same budget as the context builder).
+    DatasetBuilder fitness(ctx.netlist);
+    GaConfig ga_cfg;
+    ga_cfg.populationSize = ctx.fast ? 16 : 30;
+    ga_cfg.generations = ctx.fast ? 5 : 10;
+    ga_cfg.fitnessCycles = ctx.fast ? 300 : 600;
+    ga_cfg.fitnessSignalStride = 4;
+    GaGenerator ga(fitness, ga_cfg);
+    ga.run();
+
+    const size_t n_benchmarks = ctx.fast ? 16 : 40;
+    const uint64_t cycles_each = ctx.fast ? 200 : 500;
+    const size_t q = ctx.fast ? 80 : 159;
+
+    std::vector<GaIndividual> sorted = ga.all();
+    std::sort(sorted.begin(), sorted.end(),
+              [](const GaIndividual &a, const GaIndividual &b) {
+                  return a.avgPower < b.avgPower;
+              });
+
+    struct Variant
+    {
+        std::string name;
+        std::vector<GaIndividual> set;
+    };
+    std::vector<Variant> variants;
+
+    variants.push_back(
+        {"GA-diverse (power-uniform)",
+         ga.selectTrainingSet(n_benchmarks)});
+    {
+        // Random stimuli: generation-0 individuals only.
+        std::vector<GaIndividual> gen0;
+        for (const GaIndividual &ind : ga.all())
+            if (ind.generation == 0)
+                gen0.push_back(ind);
+        gen0.resize(std::min(gen0.size(), n_benchmarks));
+        variants.push_back({"random stimuli (generation 0)", gen0});
+    }
+    {
+        std::vector<GaIndividual> virus(
+            sorted.end() - static_cast<long>(std::min(
+                               n_benchmarks, sorted.size())),
+            sorted.end());
+        variants.push_back({"virus-heavy (top power only)", virus});
+    }
+    {
+        // Narrow mid-band: the middle of the power distribution.
+        const size_t mid = sorted.size() / 2;
+        const size_t half = std::min(n_benchmarks, sorted.size()) / 2;
+        std::vector<GaIndividual> band(
+            sorted.begin() + static_cast<long>(mid - half),
+            sorted.begin() + static_cast<long>(mid + half));
+        variants.push_back({"narrow mid-band (realistic-like)", band});
+    }
+
+    TablePrinter table({"training set", "benchmarks", "train cycles",
+                        "NRMSE", "R2", "mean bias"});
+    for (const Variant &variant : variants) {
+        const Dataset train =
+            datasetFrom(ctx.netlist, variant.set, cycles_each);
+        ApolloTrainConfig cfg;
+        cfg.selection.targetQ = q;
+        const auto res = trainApollo(train, cfg, ctx.netlist.name());
+        const auto pred = res.model.predictFull(ctx.test.X);
+        const double bias =
+            (mean(pred) - mean(ctx.test.y)) / mean(ctx.test.y);
+        table.addRow({variant.name,
+                      TablePrinter::integer(static_cast<long long>(
+                          variant.set.size())),
+                      TablePrinter::integer(
+                          static_cast<long long>(train.cycles())),
+                      TablePrinter::percent(nrmse(ctx.test.y, pred)),
+                      TablePrinter::num(r2Score(ctx.test.y, pred), 4),
+                      TablePrinter::percent(bias)});
+    }
+    table.render(std::cout);
+    std::printf("\n(Q=%zu; test = the 12 designer benchmarks)\n", q);
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Extension bench (§9 future work): the higher-abstraction power model
+ * (linear over per-cycle micro-architectural state — what a C/C++
+ * performance simulator exposes) vs the RTL-proxy APOLLO model.
+ *
+ * The abstraction trades accuracy for the ability to ride along with
+ * performance simulation: no RTL, no toggle tracing, 3*numUnits
+ * features total. The bench quantifies that trade on the designer test
+ * suite and reports per-benchmark deltas plus inference cost.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "common.hh"
+#include "core/abstract_model.hh"
+#include "gen/ga_generator.hh"
+#include "gen/test_suite.hh"
+#include "ml/metrics.hh"
+#include "trace/toggle_trace.hh"
+#include "util/table.hh"
+
+using namespace apollo;
+using namespace apollo::bench;
+
+int
+main()
+{
+    Context ctx = loadContext(Design::N1ish);
+    printHeader("Extension (§9)",
+                "micro-architectural abstraction model vs RTL-proxy "
+                "APOLLO",
+                ctx);
+
+    // The abstraction model trains on frames, which the cached context
+    // does not retain — regenerate a training run (frames + labels).
+    DatasetBuilder train_builder(ctx.netlist);
+    Xoshiro256StarStar rng(0xab57);
+    const int n_progs = ctx.fast ? 14 : 40;
+    for (int i = 0; i < n_progs; ++i) {
+        train_builder.addProgram(
+            Program::makeLoop("t" + std::to_string(i),
+                              GaGenerator::randomBody(rng, 6, 26), 8000,
+                              rng()),
+            ctx.fast ? 200 : 500);
+    }
+    const Dataset abstract_train = train_builder.build();
+    const AbstractPowerModel abstract_model =
+        trainAbstractModel(train_builder.frames(), abstract_train.y);
+
+    // Test: designer suite with frames.
+    DatasetBuilder test_builder(ctx.netlist);
+    for (const TestBenchmark &bench : designerTestSuite()) {
+        const uint64_t budget =
+            ctx.fast ? std::max<uint64_t>(100, bench.cycles / 4)
+                     : bench.cycles;
+        test_builder.addProgram(bench.program, budget, bench.throttle);
+    }
+    const Dataset test = test_builder.build();
+    const auto abstract_pred =
+        abstract_model.predict(test_builder.frames());
+
+    // RTL-proxy APOLLO reference at Q=159 on the same data.
+    ApolloTrainConfig cfg;
+    cfg.selection.targetQ = ctx.fast ? 80 : 159;
+    const ApolloModel rtl_model =
+        trainApollo(abstract_train, cfg, ctx.netlist.name()).model;
+    const auto rtl_pred = rtl_model.predictFull(test.X);
+
+    TablePrinter table({"benchmark", "abstract NRMSE", "RTL NRMSE",
+                        "gap"});
+    for (const SegmentInfo &seg : test.segments) {
+        std::vector<float> y(test.y.begin() + seg.begin,
+                             test.y.begin() + seg.end);
+        std::vector<float> pa(abstract_pred.begin() + seg.begin,
+                              abstract_pred.begin() + seg.end);
+        std::vector<float> pr(rtl_pred.begin() + seg.begin,
+                              rtl_pred.begin() + seg.end);
+        table.addRow({seg.name,
+                      TablePrinter::percent(nrmse(y, pa)),
+                      TablePrinter::percent(nrmse(y, pr)),
+                      TablePrinter::percent(nrmse(y, pa) -
+                                            nrmse(y, pr))});
+    }
+    table.render(std::cout);
+
+    std::printf("\noverall: abstract R2=%.4f NRMSE=%.2f%%  |  "
+                "RTL-proxy R2=%.4f NRMSE=%.2f%%\n",
+                r2Score(test.y, abstract_pred),
+                100.0 * nrmse(test.y, abstract_pred),
+                r2Score(test.y, rtl_pred),
+                100.0 * nrmse(test.y, rtl_pred));
+    std::printf("abstract model: %zu features (vs %zu monitored RTL "
+                "signals), zero RTL simulation at inference\n",
+                AbstractPowerModel::featureCount,
+                rtl_model.proxyCount());
+    std::printf("caveat: on this synthetic substrate the unit-activity "
+                "frames are the generative latent state of every "
+                "toggle, so the abstraction is unrealistically "
+                "competitive; on real RTL, toggles carry information "
+                "coarse unit activity cannot (the paper leaves this "
+                "direction as future work for that reason).\n");
+
+    // The heaviest abstract-model weights: which architectural levers
+    // carry power.
+    std::vector<size_t> order(AbstractPowerModel::featureCount);
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return std::abs(abstract_model.weights[a]) >
+               std::abs(abstract_model.weights[b]);
+    });
+    std::printf("\ntop architectural power levers:\n");
+    for (size_t k = 0; k < 8; ++k)
+        std::printf("  %8.4f  %s\n", abstract_model.weights[order[k]],
+                    AbstractPowerModel::featureName(order[k]).c_str());
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Reproduces Fig. 3(b): GA-based training-data generation. The scatter
+ * of micro-benchmark average power per generation is summarized as
+ * min/mean/max rows; the max envelope must rise toward the power virus
+ * while the union of generations spans a >5x power range (§4.1).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.hh"
+#include "gen/ga_generator.hh"
+#include "trace/toggle_trace.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace apollo;
+using namespace apollo::bench;
+
+int
+main()
+{
+    const bool fast = fastMode();
+    const Netlist netlist =
+        DesignBuilder::build(DesignConfig::neoverseN1ish());
+    std::printf("=== Fig. 3(b): GA training-data generation "
+                "(design=%s, M=%zu)%s ===\n",
+                netlist.name().c_str(), netlist.signalCount(),
+                fast ? " [FAST]" : "");
+
+    DatasetBuilder builder(netlist);
+    GaConfig cfg;
+    cfg.populationSize = fast ? 16 : 30;
+    cfg.generations = fast ? 5 : 12;
+    cfg.fitnessCycles = fast ? 300 : 600;
+    cfg.fitnessSignalStride = 4;
+    GaGenerator ga(builder, cfg);
+    ga.run();
+
+    TablePrinter table({"generation", "individuals", "min power",
+                        "mean power", "max power"});
+    for (uint32_t gen = 0; gen < cfg.generations; ++gen) {
+        RunningStats stats;
+        for (const GaIndividual &ind : ga.all())
+            if (ind.generation == gen)
+                stats.add(ind.avgPower);
+        table.addRow({TablePrinter::integer(gen),
+                      TablePrinter::integer(
+                          static_cast<long long>(stats.count())),
+                      TablePrinter::num(stats.min()),
+                      TablePrinter::num(stats.mean()),
+                      TablePrinter::num(stats.max())});
+    }
+    table.render(std::cout);
+
+    std::printf("\ntotal micro-benchmarks generated: %zu\n",
+                ga.all().size());
+    std::printf("max/min power ratio across all generations: %.2fx "
+                "(paper: >5x)\n",
+                ga.powerRangeRatio());
+    std::printf("power virus (best individual, generation %u, avg "
+                "power %.3f):\n",
+                ga.best().generation, ga.best().avgPower);
+    const Program virus = GaGenerator::toProgram(ga.best(), "virus", 1);
+    std::printf("%s\n", virus.toString().c_str());
+
+    // Power-uniform training selection (§7.1): histogram of the
+    // selected subset across 12 equal power bins.
+    const auto selected = ga.selectTrainingSet(
+        std::min<size_t>(60, ga.all().size()));
+    double lo = selected[0].avgPower;
+    double hi = selected[0].avgPower;
+    for (const auto &ind : ga.all()) {
+        lo = std::min(lo, ind.avgPower);
+        hi = std::max(hi, ind.avgPower);
+    }
+    const int n_bins = 12;
+    std::vector<int> hist(n_bins, 0);
+    for (const auto &ind : selected) {
+        int b = static_cast<int>((ind.avgPower - lo) / (hi - lo) *
+                                 n_bins);
+        hist[std::min(b, n_bins - 1)]++;
+    }
+    std::printf("training-set selection (%zu benchmarks) histogram "
+                "over the power range:\n  ",
+                selected.size());
+    for (int b = 0; b < n_bins; ++b)
+        std::printf("%d ", hist[b]);
+    std::printf("\n(uniform-ish coverage expected; realistic workloads "
+                "alone would cluster in few bins)\n");
+    return 0;
+}

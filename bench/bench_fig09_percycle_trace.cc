@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Reproduces Fig. 9 (Neoverse N1-ish, Q=159):
+ *  (a) the per-cycle predicted-vs-ground-truth power trace over the 12
+ *      designer benchmarks (summarized per benchmark; the full trace is
+ *      written to fig09_trace.csv for plotting), and the §7.3 unbiased-
+ *      ness check (average prediction within ~1% of average truth),
+ *  (b) NRMSE and NMAE per designer benchmark (paper: NMAE < 10% for
+ *      every benchmark).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "common.hh"
+#include "ml/metrics.hh"
+#include "util/table.hh"
+
+using namespace apollo;
+using namespace apollo::bench;
+
+int
+main()
+{
+    Context ctx = loadContext(Design::N1ish);
+    printHeader("Fig. 9", "per-cycle accuracy at Q=159 on the designer "
+                          "test suite", ctx);
+
+    const size_t q = 159;
+    const ApolloTrainResult res = trainApolloAtQ(ctx, q);
+    const auto pred = res.model.predictFull(ctx.test.X);
+
+    std::printf("model: Q=%zu (%.3f%% of RTL signals; the paper's "
+                "Q=159 is <0.03%% of its M>5e5)\n",
+                res.model.proxyCount(), 100.0 * ctx.qOverM(q));
+    std::printf("selection %.1fs (lambda=%.5g), relaxation %.1fs\n\n",
+                res.selectSeconds, res.selection.diagnostics.lambda,
+                res.relaxSeconds);
+
+    // (b) per-benchmark metrics.
+    TablePrinter table({"benchmark", "cycles", "mean truth",
+                        "mean pred", "NRMSE", "NMAE"});
+    for (const SegmentInfo &seg : ctx.test.segments) {
+        std::vector<float> y(ctx.test.y.begin() + seg.begin,
+                             ctx.test.y.begin() + seg.end);
+        std::vector<float> p(pred.begin() + seg.begin,
+                             pred.begin() + seg.end);
+        table.addRow({seg.name,
+                      TablePrinter::integer(
+                          static_cast<long long>(seg.cycles())),
+                      TablePrinter::num(mean(y)),
+                      TablePrinter::num(mean(p)),
+                      TablePrinter::percent(nrmse(y, p)),
+                      TablePrinter::percent(nmae(y, p))});
+    }
+    table.render(std::cout);
+
+    // Whole-suite metrics + unbiasedness (§7.3: 0.6% gap on N1).
+    const double mean_truth = mean(ctx.test.y);
+    const double mean_pred = mean(pred);
+    std::printf("\nwhole suite: R2=%.4f  NRMSE=%.2f%%  NMAE=%.2f%%  "
+                "(paper: R2=0.95, NRMSE=9.4%% at Q=159)\n",
+                r2Score(ctx.test.y, pred),
+                100.0 * nrmse(ctx.test.y, pred),
+                100.0 * nmae(ctx.test.y, pred));
+    std::printf("average truth %.4f vs average prediction %.4f: "
+                "%.2f%% gap (paper: 0.6%% — unbiased predictions)\n",
+                mean_truth, mean_pred,
+                100.0 * std::abs(mean_pred - mean_truth) / mean_truth);
+
+    // (a) full trace for plotting.
+    std::ofstream csv("fig09_trace.csv");
+    csv << "cycle,benchmark,truth,pred\n";
+    for (const SegmentInfo &seg : ctx.test.segments)
+        for (size_t i = seg.begin; i < seg.end; ++i)
+            csv << i << "," << seg.name << "," << ctx.test.y[i] << ","
+                << pred[i] << "\n";
+    std::printf("\nper-cycle trace written to fig09_trace.csv "
+                "(%zu cycles)\n",
+                ctx.test.cycles());
+    return 0;
+}

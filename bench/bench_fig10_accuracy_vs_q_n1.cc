@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Reproduces Fig. 10: per-cycle power accuracy (NRMSE / R^2) vs number
+ * of proxies Q on the Neoverse N1-ish design, for APOLLO vs Lasso [53]
+ * vs Simmani [40], with PRIMAL-CNN and PCA [79] reference lines.
+ * Paper anchors: APOLLO reaches NRMSE < 10% and R^2 > 0.95 by Q ~ 150;
+ * Lasso and Simmani stay above 12% NRMSE even at Q = 500.
+ */
+
+#include "accuracy_sweep.hh"
+#include "common.hh"
+
+using namespace apollo::bench;
+
+int
+main()
+{
+    Context ctx = loadContext(Design::N1ish);
+    printHeader("Fig. 10",
+                "per-cycle accuracy vs Q (APOLLO / Lasso / Simmani / "
+                "PRIMAL / PCA)",
+                ctx);
+    const std::vector<size_t> qs =
+        ctx.fast ? std::vector<size_t>{25, 80, 159}
+                 : std::vector<size_t>{25, 50, 100, 159, 300, 500};
+    runAccuracyVsQ(ctx, qs);
+    return 0;
+}

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Reproduces Fig. 12: the Fig. 10 sweep on the second design
+ * (Cortex-A77-ish, ~1.7x more RTL signals, vector/issue heavy),
+ * verifying that the APOLLO flow generalizes across designs with no
+ * manual work (§7.3). Paper anchors: APOLLO reaches NRMSE ~ 8% by
+ * Q ~ 300 (<0.03% of its M > 1e6 signals); Lasso and Simmani stay
+ * above 10% at Q = 500.
+ */
+
+#include "accuracy_sweep.hh"
+#include "common.hh"
+
+using namespace apollo::bench;
+
+int
+main()
+{
+    Context ctx = loadContext(Design::A77ish);
+    printHeader("Fig. 12",
+                "per-cycle accuracy vs Q on the second design "
+                "(Cortex-A77-ish)",
+                ctx);
+    const std::vector<size_t> qs =
+        ctx.fast ? std::vector<size_t>{50, 159}
+                 : std::vector<size_t>{50, 100, 159, 300, 500};
+    runAccuracyVsQ(ctx, qs);
+    return 0;
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Reproduces Fig. 16 and §8.1: emulator-assisted design-time power
+ * introspection on a long, phase-rich workload.
+ *
+ *  - runs the three Fig. 7 flows on the same workload prefix and
+ *    reports wall-clock per stage and trace storage,
+ *  - runs the emulator-assisted flow over a million-cycle workload
+ *    (the paper traces 17M cycles in 3 minutes / 1.1 GB at Q=150),
+ *  - projects inference cost to one billion cycles for APOLLO vs the
+ *    PRIMAL-class net, PCA, and Simmani at Q=1000 (§8.1: one minute vs
+ *    months / a week / days).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "common.hh"
+#include "core/baselines.hh"
+#include "flow/flows.hh"
+#include "ml/metrics.hh"
+#include "ml/neural_net.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace apollo;
+using namespace apollo::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    Context ctx = loadContext(Design::N1ish);
+    printHeader("Fig. 16 / §8.1",
+                "emulator-assisted per-cycle tracing of long workloads",
+                ctx);
+
+    const size_t q = 150;
+    const ApolloTrainResult res = trainApolloAtQ(ctx, q);
+    DesignTimeFlows flows(ctx.netlist);
+
+    // --- Fig. 7 flow comparison on a common prefix ---
+    const uint64_t compare_cycles = ctx.fast ? 20000 : 60000;
+    const Program prefix =
+        makeLongWorkload("hmmer-like", compare_cycles * 2, 0x5bec);
+
+    FlowReport commercial =
+        flows.runCommercialFlow(prefix, compare_cycles);
+    FlowReport apollo_flow =
+        flows.runApolloFlow(prefix, compare_cycles, res.model);
+    FlowReport emulator =
+        flows.runEmulatorFlow(prefix, compare_cycles, res.model);
+
+    TablePrinter table({"flow", "cycles", "sim s", "trace s",
+                        "power s", "total s", "trace MB"});
+    for (const FlowReport *rep :
+         {&commercial, &apollo_flow, &emulator}) {
+        table.addRow({rep->flowName,
+                      TablePrinter::integer(
+                          static_cast<long long>(rep->cycles)),
+                      TablePrinter::num(rep->simSeconds, 2),
+                      TablePrinter::num(rep->traceSeconds, 2),
+                      TablePrinter::num(rep->powerSeconds, 2),
+                      TablePrinter::num(rep->totalSeconds(), 2),
+                      TablePrinter::num(rep->traceBytes / 1e6, 1)});
+    }
+    table.render(std::cout);
+    std::printf("model fidelity on this workload: R2=%.4f vs the "
+                "sign-off flow\n",
+                r2Score(commercial.power, emulator.power));
+    std::printf("trace-volume reduction: %.0fx (Q=%zu of M=%zu "
+                "signals)\n\n",
+                static_cast<double>(commercial.traceBytes) /
+                    emulator.traceBytes,
+                q, ctx.netlist.signalCount());
+
+    // --- Million-cycle emulator-assisted run ---
+    const uint64_t long_cycles = ctx.fast ? 100000 : 1000000;
+    const Program workload =
+        makeLongWorkload("spec-like", long_cycles * 2, 0x17f);
+    FlowReport long_run =
+        flows.runEmulatorFlow(workload, long_cycles, res.model);
+    std::printf("emulator-assisted flow over %llu cycles: %.1fs total "
+                "(%.2fs model inference), %.1f MB proxy trace\n",
+                static_cast<unsigned long long>(long_run.cycles),
+                long_run.totalSeconds(), long_run.powerSeconds,
+                long_run.traceBytes / 1e6);
+    const double bytes_17m =
+        static_cast<double>(long_run.traceBytes) / long_run.cycles *
+        17e6;
+    std::printf("projected 17M-cycle trace at Q=%zu: %.2f GB raw "
+                "packed bits (paper: 1.1 GB with its trace format; "
+                "full-signal dumps exceed 200 GB)\n\n",
+                q, bytes_17m / 1e9);
+
+    // Phase summary of the long trace (the Fig. 16 waveform).
+    {
+        std::ofstream csv("fig16_trace.csv");
+        csv << "window,power\n";
+        const size_t window = 512;
+        RunningStats stats;
+        for (size_t w = 0; w + window <= long_run.power.size();
+             w += window) {
+            double acc = 0.0;
+            for (size_t i = 0; i < window; ++i)
+                acc += long_run.power[w + i];
+            acc /= window;
+            stats.add(acc);
+            csv << w << "," << acc << "\n";
+        }
+        std::printf("windowed power over the long workload: min %.3f / "
+                    "mean %.3f / max %.3f (distinct phases, written to "
+                    "fig16_trace.csv)\n\n",
+                    stats.min(), stats.mean(), stats.max());
+    }
+
+    // --- §8.1: billion-cycle inference projections ---
+    // Measure APOLLO per-cycle inference cost on the long trace.
+    const double apollo_s_per_cycle =
+        long_run.powerSeconds / long_run.cycles;
+
+    // PRIMAL-class net: time a prediction pass over the test set.
+    PowerNet net;
+    NeuralNetConfig net_cfg;
+    net_cfg.epochs = 1; // inference cost is what we are measuring
+    net.train(ctx.train.X, ctx.flipflopIds, ctx.train.y, net_cfg);
+    auto t0 = Clock::now();
+    const auto primal_pred = net.predict(ctx.test.X);
+    (void)primal_pred;
+    const double primal_s_per_cycle =
+        secondsSince(t0) / ctx.test.cycles();
+
+    // PCA: projection needs all M signals every cycle: cost ~ nnz * k.
+    t0 = Clock::now();
+    const BaselineResult pca = trainPcaBaseline(ctx.train, ctx.test,
+                                                ctx.fast ? 24 : 48);
+    (void)pca;
+    const double pca_s_per_cycle =
+        secondsSince(t0) / (ctx.train.cycles() + ctx.test.cycles());
+
+    // Simmani at Q=1000: ~Q^2/2 polynomial terms per cycle.
+    const double simmani_s_per_cycle =
+        apollo_s_per_cycle * (1000.0 * 1000.0 / 2.0) / q;
+
+    TablePrinter proj({"method", "inputs per cycle",
+                       "projected time for 1e9 cycles"});
+    auto fmt_time = [](double seconds) {
+        char buf[64];
+        if (seconds < 120)
+            std::snprintf(buf, sizeof(buf), "%.1f s", seconds);
+        else if (seconds < 2 * 86400)
+            std::snprintf(buf, sizeof(buf), "%.1f h", seconds / 3600);
+        else
+            std::snprintf(buf, sizeof(buf), "%.1f days",
+                          seconds / 86400);
+        return std::string(buf);
+    };
+    proj.addRow({"APOLLO (Q=150)", "150 toggle bits",
+                 fmt_time(apollo_s_per_cycle * 1e9)});
+    proj.addRow({"Simmani (Q=1000, ~Q^2/2 poly terms)",
+                 "1000 bits + 500k products",
+                 fmt_time(simmani_s_per_cycle * 1e9)});
+    proj.addRow({"PCA + linear (all M signals)",
+                 std::to_string(ctx.netlist.signalCount()) + " bits",
+                 fmt_time(pca_s_per_cycle * 1e9)});
+    proj.addRow({"PRIMAL-class net (all flip-flops)",
+                 std::to_string(ctx.flipflopIds.size()) + " bits",
+                 fmt_time(primal_s_per_cycle * 1e9)});
+    proj.render(std::cout);
+    std::printf("\nexpected shape (§8.1, scaled to our M): APOLLO "
+                "orders of magnitude below every baseline; the paper "
+                "reports ~1 minute vs days (Simmani), ~a week (PCA), "
+                "months (CNN) at its scale.\n");
+    return 0;
+}

@@ -1,0 +1,169 @@
+#include "common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "gen/ga_generator.hh"
+#include "gen/test_suite.hh"
+#include "trace/dataset_io.hh"
+#include "util/logging.hh"
+
+namespace apollo::bench {
+
+namespace {
+
+constexpr uint32_t cacheVersion = 5;
+
+bool
+envFlag(const char *name)
+{
+    const char *value = std::getenv(name);
+    return value && value[0] == '1';
+}
+
+std::filesystem::path
+cachePath(Design design, bool fast)
+{
+    const char *name = design == Design::N1ish ? "n1ish" : "a77ish";
+    return std::filesystem::path("bench_cache") /
+           (std::string(name) + (fast ? "-fast" : "") + ".bin");
+}
+
+Context
+buildContext(Design design, bool fast)
+{
+    Context ctx{DesignBuilder::build(design == Design::N1ish
+                                         ? DesignConfig::neoverseN1ish()
+                                         : DesignConfig::cortexA77ish()),
+                {}, {}, {}, fast};
+
+    // --- GA training-data generation (§4.1) ---
+    DatasetBuilder fitness(ctx.netlist);
+    GaConfig ga_cfg;
+    ga_cfg.populationSize = fast ? 16 : 30;
+    ga_cfg.generations = fast ? 5 : 10;
+    ga_cfg.fitnessCycles = fast ? 300 : 600;
+    ga_cfg.fitnessSignalStride = 4;
+    GaGenerator ga(fitness, ga_cfg);
+    ga.run();
+
+    // Power-uniform training selection. N1: ~30k training cycles;
+    // A77: ~5k (the paper's §7.1 budgets).
+    const bool n1 = design == Design::N1ish;
+    const size_t n_benchmarks = fast ? 20 : (n1 ? 60 : 16);
+    const uint64_t cycles_each = fast ? 200 : (n1 ? 500 : 320);
+
+    DatasetBuilder train_builder(ctx.netlist);
+    int idx = 0;
+    for (const GaIndividual &ind : ga.selectTrainingSet(n_benchmarks)) {
+        train_builder.addProgram(
+            GaGenerator::toProgram(ind, "ga" + std::to_string(idx++),
+                                   8000),
+            cycles_each);
+    }
+    ctx.train = train_builder.build();
+
+    // --- Designer test suite (Table 4) ---
+    // N1: full Table-4 budgets (~15k cycles). A77: ~2k cycles (paper
+    // §7.1), scaled per benchmark.
+    DatasetBuilder test_builder(ctx.netlist);
+    for (const TestBenchmark &bench : designerTestSuite()) {
+        uint64_t budget = bench.cycles;
+        if (fast)
+            budget = std::max<uint64_t>(100, budget / 4);
+        else if (!n1)
+            budget = std::max<uint64_t>(100, budget * 2000 / 15330);
+        test_builder.addProgram(bench.program, budget, bench.throttle);
+    }
+    ctx.test = test_builder.build();
+
+    for (size_t c = 0; c < ctx.netlist.signalCount(); ++c)
+        if (ctx.netlist.signal(c).kind == SignalKind::FlipFlop)
+            ctx.flipflopIds.push_back(static_cast<uint32_t>(c));
+    return ctx;
+}
+
+} // namespace
+
+bool
+fastMode()
+{
+    return envFlag("APOLLO_BENCH_FAST");
+}
+
+Context
+loadContext(Design design)
+{
+    const bool fast = fastMode();
+    const auto path = cachePath(design, fast);
+
+    if (std::filesystem::exists(path)) {
+        std::ifstream is(path, std::ios::binary);
+        uint32_t version = 0;
+        is.read(reinterpret_cast<char *>(&version), sizeof(version));
+        if (version == cacheVersion) {
+            Context ctx{DesignBuilder::build(
+                            design == Design::N1ish
+                                ? DesignConfig::neoverseN1ish()
+                                : DesignConfig::cortexA77ish()),
+                        {}, {}, {}, fast};
+            try {
+                ctx.train = loadDataset(is);
+                ctx.test = loadDataset(is);
+                for (size_t c = 0; c < ctx.netlist.signalCount(); ++c)
+                    if (ctx.netlist.signal(c).kind ==
+                        SignalKind::FlipFlop)
+                        ctx.flipflopIds.push_back(
+                            static_cast<uint32_t>(c));
+                std::fprintf(stderr,
+                             "[bench] loaded cached context %s\n",
+                             path.c_str());
+                return ctx;
+            } catch (const FatalError &) {
+                std::fprintf(stderr, "[bench] cache unreadable, "
+                                     "rebuilding\n");
+            }
+        }
+    }
+
+    std::fprintf(stderr,
+                 "[bench] building context (design=%s, fast=%d)...\n",
+                 design == Design::N1ish ? "n1ish" : "a77ish", fast);
+    Context ctx = buildContext(design, fast);
+
+    std::filesystem::create_directories(path.parent_path());
+    std::ofstream os(path, std::ios::binary);
+    os.write(reinterpret_cast<const char *>(&cacheVersion),
+             sizeof(cacheVersion));
+    saveDataset(os, ctx.train);
+    saveDataset(os, ctx.test);
+    return ctx;
+}
+
+void
+printHeader(const std::string &experiment_id,
+            const std::string &description, const Context &ctx)
+{
+    std::printf("================================================\n");
+    std::printf("%s — %s\n", experiment_id.c_str(),
+                description.c_str());
+    std::printf("design: %s  M=%zu RTL signals  train=%zu cycles "
+                "(%zu benchmarks)  test=%zu cycles (%zu benchmarks)%s\n",
+                ctx.netlist.name().c_str(), ctx.netlist.signalCount(),
+                ctx.train.cycles(), ctx.train.segments.size(),
+                ctx.test.cycles(), ctx.test.segments.size(),
+                ctx.fast ? "  [FAST MODE]" : "");
+    std::printf("================================================\n");
+}
+
+ApolloTrainResult
+trainApolloAtQ(const Context &ctx, size_t q)
+{
+    ApolloTrainConfig cfg;
+    cfg.selection.targetQ = q;
+    return trainApollo(ctx.train, cfg, ctx.netlist.name());
+}
+
+} // namespace apollo::bench

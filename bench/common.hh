@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared experiment context for the bench harnesses: the target design,
+ * the GA-generated training dataset (§7.1: power-uniform selection from
+ * the GA population), the designer test suite dataset (Table 4), and
+ * the flip-flop id list for PRIMAL-class baselines.
+ *
+ * The context is cached on disk (build tree) after the first bench
+ * builds it, so every table/figure binary starts from identical data.
+ * Set APOLLO_BENCH_FAST=1 for reduced budgets during development.
+ */
+
+#ifndef APOLLO_BENCH_COMMON_HH
+#define APOLLO_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "core/apollo_trainer.hh"
+#include "rtl/design_builder.hh"
+#include "trace/dataset.hh"
+
+namespace apollo::bench {
+
+/** Which design a bench targets. */
+enum class Design
+{
+    N1ish,
+    A77ish,
+};
+
+/** The shared experiment inputs. */
+struct Context
+{
+    Netlist netlist;
+    Dataset train;
+    Dataset test;
+    /** Flip-flop signal ids (PRIMAL input space). */
+    std::vector<uint32_t> flipflopIds;
+    bool fast = false;
+
+    double qOverM(size_t q) const
+    {
+        return static_cast<double>(q) / netlist.signalCount();
+    }
+};
+
+/** Build (or load from cache) the context for @p design. */
+Context loadContext(Design design);
+
+/** True when APOLLO_BENCH_FAST=1. */
+bool fastMode();
+
+/** Paper-style header line for a bench. */
+void printHeader(const std::string &experiment_id,
+                 const std::string &description, const Context &ctx);
+
+/** Train APOLLO at the given Q with the paper's settings. */
+ApolloTrainResult trainApolloAtQ(const Context &ctx, size_t q);
+
+} // namespace apollo::bench
+
+#endif // APOLLO_BENCH_COMMON_HH

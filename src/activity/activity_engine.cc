@@ -1,0 +1,89 @@
+#include "activity/activity_engine.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace apollo {
+
+ActivityEngine::ActivityEngine(const Netlist &netlist)
+    : netlist_(netlist), seed_(hashMix(netlist.seed() ^ 0xac71ULL))
+{}
+
+float
+ActivityEngine::toggleProbability(const Signal &sig, float activity,
+                                  float data)
+{
+    const float p = sig.baseRate +
+        sig.actSensitivity * activity *
+            (1.0f - sig.dataSensitivity * (1.0f - data));
+    return std::clamp(p, 0.0f, 0.95f);
+}
+
+bool
+ActivityEngine::toggles(uint32_t sig_id,
+                        std::span<const ActivityFrame> frames, size_t i,
+                        size_t segment_begin) const
+{
+    APOLLO_ASSERT(i < frames.size(), "frame index out of range");
+    const Signal &sig = netlist_.signal(sig_id);
+    const UnitId unit = sig.unit;
+    const ActivityFrame &now = frames[i];
+
+    switch (sig.kind) {
+      case SignalKind::GatedClock: {
+        // Sub-unit clock gating: each gated clock serves a slice of the
+        // unit's flops, and slices enable in proportion to how busy the
+        // unit is. At full activity every gate is open.
+        if (!now.enabled(unit))
+            return false;
+        const float act = now.act(unit);
+        if (act >= 0.999f)
+            return true;
+        const uint64_t draw = hashCombine(
+            seed_ ^ (sig_id * 0x9e3779b97f4a7c15ULL), now.cycle);
+        return hashToUnitFloat(draw) < 0.18f + 0.82f * act;
+      }
+
+      case SignalKind::ClockEnable: {
+        if (i == segment_begin)
+            return now.enabled(unit) != true; // reset state was enabled
+        return now.enabled(unit) != frames[i - 1].enabled(unit);
+      }
+
+      default:
+        break;
+    }
+
+    if (!now.enabled(unit))
+        return false;
+
+    // Activity/data seen through the signal's pipeline latency.
+    const size_t lb = std::min<size_t>(sig.latency, i - segment_begin);
+    const ActivityFrame &src = frames[i - lb];
+    const float activity = src.act(unit);
+    const float data = src.data(unit);
+
+    if (sig.kind == SignalKind::BusBit) {
+        const Bus &bus = netlist_.bus(static_cast<size_t>(sig.busId));
+        const uint64_t bus_draw = hashCombine(
+            seed_ ^ (0xb5b5ULL + static_cast<uint64_t>(sig.busId)),
+            now.cycle);
+        const float p_event = std::clamp(
+            bus.eventSensitivity * activity, 0.0f, 0.95f);
+        if (hashToUnitFloat(bus_draw) >= p_event)
+            return false;
+        const uint64_t bit_draw =
+            hashCombine(seed_ ^ (sig_id * 0x9e3779b97f4a7c15ULL),
+                        now.cycle);
+        return hashToUnitFloat(bit_draw) < 0.35f + 0.65f * data;
+    }
+
+    const float p = toggleProbability(sig, activity, data);
+    const uint64_t draw = hashCombine(
+        seed_ ^ (sig_id * 0x9e3779b97f4a7c15ULL), now.cycle);
+    return hashToUnitFloat(draw) < p;
+}
+
+} // namespace apollo

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * ActivityEngine: maps per-cycle ActivityFrames to per-signal toggle
+ * bits.
+ *
+ * The toggle bit of signal j at cycle i is a *pure function* of
+ * (netlist seed, j, the frames at cycles i-2..i). Consequences:
+ *  - traces are bit-reproducible,
+ *  - any subset of signals can be traced independently and will match a
+ *    full trace exactly — the property the emulator-assisted flow
+ *    (Fig. 7(c)) exploits by recording only the Q proxies,
+ *  - columns can be generated in parallel.
+ *
+ * Toggle rules per signal kind:
+ *  - GatedClock: toggles iff its unit's clock is enabled (the gated
+ *    clock net switches every enabled cycle — the dominant dynamic-power
+ *    contributor).
+ *  - ClockEnable: toggles iff the unit's gating state changed since the
+ *    previous cycle.
+ *  - FlipFlop / CombWire: when the unit clock is enabled, toggles with
+ *    probability baseRate + actSens * a * (1 - dataSens * (1 - d)),
+ *    where a and d are the unit's activity and data-toggle factors
+ *    `latency` cycles ago.
+ *  - BusBit: a per-bus "event" fires with probability proportional to
+ *    unit activity; each bit then toggles with a data-dependent
+ *    probability, giving the correlated multi-bit switching the OPM's
+ *    bus interface (OR-tree) is designed for.
+ */
+
+#ifndef APOLLO_ACTIVITY_ACTIVITY_ENGINE_HH
+#define APOLLO_ACTIVITY_ACTIVITY_ENGINE_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rtl/netlist.hh"
+#include "uarch/activity_frame.hh"
+
+namespace apollo {
+
+/** Computes per-signal toggles from frame history. */
+class ActivityEngine
+{
+  public:
+    explicit ActivityEngine(const Netlist &netlist);
+
+    /**
+     * Toggle bit of @p sig_id at frame index @p i within @p frames.
+     * Lookbacks (signal latency, clock-enable history) clamp at
+     * @p segment_begin so traces never leak across program boundaries.
+     */
+    bool toggles(uint32_t sig_id, std::span<const ActivityFrame> frames,
+                 size_t i, size_t segment_begin = 0) const;
+
+    /** Toggle probability of a (non-clock) signal given its inputs. */
+    static float toggleProbability(const Signal &sig, float activity,
+                                   float data);
+
+    const Netlist &netlist() const { return netlist_; }
+
+  private:
+    const Netlist &netlist_;
+    uint64_t seed_;
+};
+
+} // namespace apollo
+
+#endif // APOLLO_ACTIVITY_ACTIVITY_ENGINE_HH

@@ -1,0 +1,86 @@
+#include "core/abstract_model.hh"
+
+#include <string>
+
+#include "ml/coordinate_descent.hh"
+#include "util/logging.hh"
+
+namespace apollo {
+
+void
+AbstractPowerModel::featuresOf(const ActivityFrame &frame, float *out)
+{
+    for (size_t u = 0; u < numUnits; ++u) {
+        out[u * featuresPerUnit + 0] = frame.activity[u];
+        out[u * featuresPerUnit + 1] =
+            frame.clockEnabled[u] ? 1.0f : 0.0f;
+        out[u * featuresPerUnit + 2] = frame.dataToggle[u];
+    }
+}
+
+std::string
+AbstractPowerModel::featureName(size_t index)
+{
+    APOLLO_REQUIRE(index < featureCount, "feature index out of range");
+    const auto unit = static_cast<UnitId>(index / featuresPerUnit);
+    const char *kind[featuresPerUnit] = {"activity", "clk_en",
+                                         "data_toggle"};
+    return std::string(unitName(unit)) + "." +
+           kind[index % featuresPerUnit];
+}
+
+float
+AbstractPowerModel::predictFrame(const ActivityFrame &frame) const
+{
+    float features[featureCount];
+    featuresOf(frame, features);
+    double acc = intercept;
+    for (size_t f = 0; f < featureCount; ++f)
+        acc += static_cast<double>(weights[f]) * features[f];
+    return static_cast<float>(acc);
+}
+
+std::vector<float>
+AbstractPowerModel::predict(std::span<const ActivityFrame> frames) const
+{
+    std::vector<float> out;
+    out.reserve(frames.size());
+    for (const ActivityFrame &frame : frames)
+        out.push_back(predictFrame(frame));
+    return out;
+}
+
+AbstractPowerModel
+trainAbstractModel(std::span<const ActivityFrame> frames,
+                   std::span<const float> y, double ridge)
+{
+    APOLLO_REQUIRE(frames.size() == y.size() && frames.size() > 10,
+                   "frames/labels mismatch");
+
+    DenseColumnMatrix features(frames.size(),
+                               AbstractPowerModel::featureCount);
+    float row[AbstractPowerModel::featureCount];
+    for (size_t i = 0; i < frames.size(); ++i) {
+        AbstractPowerModel::featuresOf(frames[i], row);
+        for (size_t f = 0; f < AbstractPowerModel::featureCount; ++f)
+            features.set(i, f, row[f]);
+    }
+
+    DenseFeatureView view(features);
+    CdSolver solver(view, y);
+    CdConfig cfg;
+    cfg.penalty.kind = PenaltyKind::Ridge;
+    cfg.penalty.lambda2 = ridge;
+    cfg.maxSweeps = 600;
+    cfg.tol = 1e-7;
+    const CdResult fit = solver.fit(cfg);
+
+    AbstractPowerModel model;
+    model.intercept = fit.intercept;
+    model.weights.assign(AbstractPowerModel::featureCount, 0.0f);
+    for (size_t f = 0; f < fit.w.size(); ++f)
+        model.weights[f] = fit.w[f];
+    return model;
+}
+
+} // namespace apollo

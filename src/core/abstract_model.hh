@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Higher-abstraction power model — the paper's §9 future-work
+ * direction ("translating the APOLLO design-time model into higher
+ * abstraction models (C/C++ instead of RTL), thereby integrating
+ * performance simulation with power-tracing").
+ *
+ * Instead of RTL toggle bits, the features are the per-cycle
+ * micro-architectural state a performance simulator already computes:
+ * for every functional unit its activity level, clock-enable bit, and
+ * data-toggle factor (3 * numUnits features). A ridge-regressed linear
+ * model on these features predicts per-cycle power with *no RTL
+ * simulation at all* — power-tracing rides along with performance
+ * simulation for free.
+ *
+ * The bench (bench_ext_abstraction) quantifies the accuracy gap vs the
+ * RTL-proxy APOLLO model; tests pin the training/inference invariants.
+ */
+
+#ifndef APOLLO_CORE_ABSTRACT_MODEL_HH
+#define APOLLO_CORE_ABSTRACT_MODEL_HH
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "uarch/activity_frame.hh"
+
+namespace apollo {
+
+/** Per-cycle linear model over micro-architectural state. */
+struct AbstractPowerModel
+{
+    /** 3 features per unit: activity, clock-enable, data toggle. */
+    static constexpr size_t featuresPerUnit = 3;
+    static constexpr size_t featureCount = featuresPerUnit * numUnits;
+
+    std::vector<float> weights; ///< featureCount entries
+    double intercept = 0.0;
+
+    /** Fill @p out (featureCount floats) with one frame's features. */
+    static void featuresOf(const ActivityFrame &frame, float *out);
+
+    /** Human-readable name of feature @p index. */
+    static std::string featureName(size_t index);
+
+    /** Predict power of one frame. */
+    float predictFrame(const ActivityFrame &frame) const;
+
+    /** Predict power of a frame sequence. */
+    std::vector<float> predict(
+        std::span<const ActivityFrame> frames) const;
+};
+
+/**
+ * Fit the abstract model by ridge regression on (frames, power).
+ * @p ridge is the L2 strength (features are O(1)-scaled).
+ */
+AbstractPowerModel trainAbstractModel(
+    std::span<const ActivityFrame> frames, std::span<const float> y,
+    double ridge = 1e-4);
+
+} // namespace apollo
+
+#endif // APOLLO_CORE_ABSTRACT_MODEL_HH

@@ -1,0 +1,121 @@
+#include "core/apollo_model.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace apollo {
+
+double
+ApolloModel::sumAbsWeights() const
+{
+    double acc = 0.0;
+    for (float w : weights)
+        acc += std::abs(w);
+    return acc;
+}
+
+std::vector<float>
+ApolloModel::predictFull(const BitColumnMatrix &X) const
+{
+    APOLLO_REQUIRE(proxyIds.size() == weights.size(),
+                   "model arity mismatch");
+    std::vector<float> out(X.rows(), static_cast<float>(intercept));
+    for (size_t q = 0; q < proxyIds.size(); ++q) {
+        APOLLO_REQUIRE(proxyIds[q] < X.cols(), "proxy id out of range");
+        if (weights[q] != 0.0f)
+            X.axpyColumn(proxyIds[q], weights[q], out.data());
+    }
+    return out;
+}
+
+std::vector<float>
+ApolloModel::predictProxies(const BitColumnMatrix &Xq) const
+{
+    APOLLO_REQUIRE(Xq.cols() == proxyIds.size(),
+                   "proxy matrix arity mismatch");
+    std::vector<float> out(Xq.rows(), static_cast<float>(intercept));
+    for (size_t q = 0; q < proxyIds.size(); ++q)
+        if (weights[q] != 0.0f)
+            Xq.axpyColumn(q, weights[q], out.data());
+    return out;
+}
+
+void
+ApolloModel::save(std::ostream &os) const
+{
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    os << "apollo-model 1\n";
+    os << designName << "\n";
+    os << proxyIds.size() << " " << intercept << "\n";
+    for (size_t q = 0; q < proxyIds.size(); ++q)
+        os << proxyIds[q] << " " << weights[q] << "\n";
+}
+
+ApolloModel
+ApolloModel::load(std::istream &is)
+{
+    std::string magic;
+    int version = 0;
+    is >> magic >> version;
+    APOLLO_REQUIRE(magic == "apollo-model" && version == 1,
+                   "not an apollo model file");
+    ApolloModel model;
+    is >> model.designName;
+    size_t q = 0;
+    is >> q >> model.intercept;
+    model.proxyIds.resize(q);
+    model.weights.resize(q);
+    for (size_t i = 0; i < q; ++i)
+        is >> model.proxyIds[i] >> model.weights[i];
+    APOLLO_REQUIRE(static_cast<bool>(is), "truncated model file");
+    return model;
+}
+
+Calibration
+fitCalibration(std::span<const float> truth,
+               std::span<const float> prediction)
+{
+    APOLLO_REQUIRE(truth.size() == prediction.size() &&
+                       truth.size() > 2,
+                   "calibration arity mismatch");
+    const auto n = static_cast<double>(truth.size());
+    double sum_p = 0.0;
+    double sum_t = 0.0;
+    double sum_pp = 0.0;
+    double sum_pt = 0.0;
+    for (size_t i = 0; i < truth.size(); ++i) {
+        sum_p += prediction[i];
+        sum_t += truth[i];
+        sum_pp += static_cast<double>(prediction[i]) * prediction[i];
+        sum_pt += static_cast<double>(prediction[i]) * truth[i];
+    }
+    const double denom = n * sum_pp - sum_p * sum_p;
+    Calibration cal;
+    if (std::abs(denom) > 1e-12) {
+        cal.scale = (n * sum_pt - sum_p * sum_t) / denom;
+        cal.offset = (sum_t - cal.scale * sum_p) / n;
+    } else {
+        cal.scale = 1.0;
+        cal.offset = (sum_t - sum_p) / n;
+    }
+    return cal;
+}
+
+ApolloModel
+applyCalibration(const ApolloModel &model,
+                 const Calibration &calibration)
+{
+    ApolloModel out = model;
+    for (float &w : out.weights)
+        w = static_cast<float>(w * calibration.scale);
+    out.intercept =
+        model.intercept * calibration.scale + calibration.offset;
+    return out;
+}
+
+} // namespace apollo

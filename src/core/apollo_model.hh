@@ -1,0 +1,80 @@
+/**
+ * @file
+ * ApolloModel: the per-cycle linear power model of Eq. (1) —
+ *   p[i] = intercept + sum_j w_j * x_j[i]
+ * over Q selected proxy signals. The same structure serves the
+ * design-time estimator (float inference over toggle traces) and, after
+ * quantization, the runtime OPM (src/opm).
+ */
+
+#ifndef APOLLO_CORE_APOLLO_MODEL_HH
+#define APOLLO_CORE_APOLLO_MODEL_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bitvec.hh"
+
+namespace apollo {
+
+/** The fitted per-cycle (or per-tau-interval) linear power model. */
+struct ApolloModel
+{
+    /** Signal ids of the Q selected power proxies (dataset columns). */
+    std::vector<uint32_t> proxyIds;
+    /** One weight per proxy. */
+    std::vector<float> weights;
+    double intercept = 0.0;
+    /** Name of the design this model was trained for. */
+    std::string designName;
+
+    size_t proxyCount() const { return proxyIds.size(); }
+
+    /** sum_j |w_j| (Fig. 13 diagnostic). */
+    double sumAbsWeights() const;
+
+    /**
+     * Predict per-cycle power over a *full* feature matrix (columns are
+     * all M signals; only proxy columns are read).
+     */
+    std::vector<float> predictFull(const BitColumnMatrix &X) const;
+
+    /**
+     * Predict per-cycle power over a proxy-only matrix whose column q
+     * corresponds to proxyIds[q] (the emulator-assisted layout).
+     */
+    std::vector<float> predictProxies(const BitColumnMatrix &Xq) const;
+
+    /** Serialize / parse a small text format. */
+    void save(std::ostream &os) const;
+    static ApolloModel load(std::istream &is);
+};
+
+/**
+ * Affine re-calibration (§6: the OPM accommodates "potential model
+ * re-training using sign-off or hardware measurement power values"):
+ * least-squares fit of truth ~ scale * prediction + offset, folded
+ * back into the model's weights and intercept. Used to align a
+ * deployed OPM with silicon measurements without re-selecting proxies.
+ */
+struct Calibration
+{
+    double scale = 1.0;
+    double offset = 0.0;
+};
+
+/** Fit the affine correction from paired (truth, prediction) samples. */
+Calibration fitCalibration(std::span<const float> truth,
+                           std::span<const float> prediction);
+
+/** Fold a calibration into a model (weights *= scale, intercept
+ *  affine-adjusted). */
+ApolloModel applyCalibration(const ApolloModel &model,
+                             const Calibration &calibration);
+
+} // namespace apollo
+
+#endif // APOLLO_CORE_APOLLO_MODEL_HH

@@ -1,0 +1,164 @@
+#include "core/apollo_trainer.hh"
+
+#include <chrono>
+
+#include "util/logging.hh"
+
+namespace apollo {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Subsample rows with an even stride for the selection stage. */
+BitColumnMatrix
+strideRows(const BitColumnMatrix &X, std::vector<float> &y_io,
+           size_t cap)
+{
+    const size_t n = X.rows();
+    const size_t stride = (n + cap - 1) / cap;
+    std::vector<uint32_t> rows;
+    rows.reserve(n / stride + 1);
+    for (size_t i = 0; i < n; i += stride)
+        rows.push_back(static_cast<uint32_t>(i));
+
+    std::vector<float> y_sub;
+    y_sub.reserve(rows.size());
+    for (uint32_t r : rows)
+        y_sub.push_back(y_io[r]);
+
+    BitColumnMatrix out(rows.size(), X.cols());
+    for (size_t c = 0; c < X.cols(); ++c)
+        for (size_t r = 0; r < rows.size(); ++r)
+            if (X.get(rows[r], c))
+                out.setBit(r, c);
+    y_io = std::move(y_sub);
+    return out;
+}
+
+/** Relaxation: ridge refit on the selected columns only. */
+CdResult
+relaxOnColumns(const FeatureView &X_sel, std::span<const float> y,
+               const ApolloTrainConfig &config)
+{
+    CdConfig cd;
+    cd.penalty.kind = PenaltyKind::Ridge;
+    cd.penalty.lambda2 = config.relaxRidge;
+    cd.penalty.nonneg = config.relaxNonneg;
+    cd.maxSweeps = config.relaxMaxSweeps;
+    cd.tol = config.relaxTol;
+    CdSolver solver(X_sel, y);
+    return solver.fit(cd);
+}
+
+ApolloTrainResult
+assembleResult(const CdResult &relaxed, ProxySelection selection,
+               const std::string &design_name)
+{
+    ApolloTrainResult result;
+    result.selection = std::move(selection);
+    result.relaxed = relaxed;
+    result.model.designName = design_name;
+    result.model.proxyIds = result.selection.proxyIds;
+    result.model.intercept = relaxed.intercept;
+    result.model.weights.resize(result.model.proxyIds.size());
+    for (size_t q = 0; q < result.model.proxyIds.size(); ++q)
+        result.model.weights[q] = relaxed.w[q];
+    return result;
+}
+
+} // namespace
+
+ApolloTrainResult
+trainApollo(const Dataset &train, const ApolloTrainConfig &config,
+            const std::string &design_name)
+{
+    auto t0 = std::chrono::steady_clock::now();
+
+    // Stage 1: MCP pruning over all M signals (optionally on a cycle
+    // subsample — selection needs far fewer samples than the refit).
+    ProxySelection selection;
+    if (config.selectionCycleCap &&
+        train.cycles() > config.selectionCycleCap) {
+        std::vector<float> y_sub(train.y.begin(), train.y.end());
+        const BitColumnMatrix X_sub =
+            strideRows(train.X, y_sub, config.selectionCycleCap);
+        BitFeatureView view(X_sub);
+        selection = selectProxies(view, y_sub, config.selection);
+    } else {
+        BitFeatureView view(train.X);
+        selection = selectProxies(view, train.y, config.selection);
+    }
+    const double select_seconds = secondsSince(t0);
+
+    // Stage 2: relaxation on the full data, proxies only.
+    auto t1 = std::chrono::steady_clock::now();
+    const BitColumnMatrix X_sel =
+        train.X.selectColumns(selection.proxyIds);
+    BitFeatureView sel_view(X_sel);
+    const CdResult relaxed = relaxOnColumns(sel_view, train.y, config);
+
+    ApolloTrainResult result =
+        assembleResult(relaxed, std::move(selection), design_name);
+    result.selectSeconds = select_seconds;
+    result.relaxSeconds = secondsSince(t1);
+    return result;
+}
+
+ApolloTrainResult
+trainApolloOnCounts(const CountDataset &train,
+                    const ApolloTrainConfig &config,
+                    const std::string &design_name)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    const float scale = 1.0f / static_cast<float>(train.tau);
+    CountFeatureView view(train.X, scale);
+    ProxySelection selection =
+        selectProxies(view, train.y, config.selection);
+    const double select_seconds = secondsSince(t0);
+
+    auto t1 = std::chrono::steady_clock::now();
+    // Gather the selected count columns into a dense matrix for the
+    // relaxation (Q columns only, cheap).
+    DenseColumnMatrix X_sel(train.X.rows(), selection.proxyIds.size());
+    for (size_t q = 0; q < selection.proxyIds.size(); ++q) {
+        const uint8_t *src = train.X.colData(selection.proxyIds[q]);
+        float *dst = X_sel.colData(q);
+        for (size_t i = 0; i < train.X.rows(); ++i)
+            dst[i] = scale * static_cast<float>(src[i]);
+    }
+    DenseFeatureView sel_view(X_sel);
+    const CdResult relaxed = relaxOnColumns(sel_view, train.y, config);
+
+    ApolloTrainResult result =
+        assembleResult(relaxed, std::move(selection), design_name);
+    result.selectSeconds = select_seconds;
+    result.relaxSeconds = secondsSince(t1);
+    return result;
+}
+
+ApolloTrainResult
+relaxProxySet(const Dataset &train,
+              const std::vector<uint32_t> &proxy_ids,
+              const ApolloTrainConfig &config,
+              const std::string &design_name)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    const BitColumnMatrix X_sel = train.X.selectColumns(proxy_ids);
+    BitFeatureView sel_view(X_sel);
+    const CdResult relaxed = relaxOnColumns(sel_view, train.y, config);
+    ProxySelection selection;
+    selection.proxyIds = proxy_ids;
+    ApolloTrainResult result =
+        assembleResult(relaxed, std::move(selection), design_name);
+    result.relaxSeconds = secondsSince(t0);
+    return result;
+}
+
+} // namespace apollo

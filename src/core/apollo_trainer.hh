@@ -1,0 +1,75 @@
+/**
+ * @file
+ * ApolloTrainer: the full model-construction pipeline of Fig. 5(a) —
+ * MCP proxy selection (pruning) followed by the ridge *relaxation*
+ * refit (§4.4): a fresh linear model trained from scratch on only the
+ * selected proxies with a much weaker L2 penalty, recovering the
+ * accuracy the selection-strength penalty took away. The number of
+ * proxies is unchanged by relaxation (L2 is not sparsity-inducing).
+ */
+
+#ifndef APOLLO_CORE_APOLLO_TRAINER_HH
+#define APOLLO_CORE_APOLLO_TRAINER_HH
+
+#include <string>
+
+#include "core/apollo_model.hh"
+#include "core/proxy_selector.hh"
+#include "trace/dataset.hh"
+
+namespace apollo {
+
+/** Training configuration (selection + relaxation). */
+struct ApolloTrainConfig
+{
+    ProxySelectorConfig selection;
+    /** Weak ridge strength for the relaxation refit. */
+    double relaxRidge = 1e-3;
+    /** Constrain relaxed weights to be non-negative (Eq. 1: w in R+). */
+    bool relaxNonneg = false;
+    uint32_t relaxMaxSweeps = 400;
+    double relaxTol = 1e-5;
+    /**
+     * Cap on cycles used during the *selection* stage (subsampled with
+     * even stride); relaxation always uses every cycle. 0 = no cap.
+     */
+    size_t selectionCycleCap = 0;
+};
+
+/** Training artifacts (model + diagnostics for Figs. 13/14). */
+struct ApolloTrainResult
+{
+    ApolloModel model;
+    ProxySelection selection;
+    /** The relaxed refit restricted to proxy columns. */
+    CdResult relaxed;
+    double selectSeconds = 0.0;
+    double relaxSeconds = 0.0;
+};
+
+/** Train APOLLO on a per-cycle dataset. */
+ApolloTrainResult trainApollo(const Dataset &train,
+                              const ApolloTrainConfig &config,
+                              const std::string &design_name = "");
+
+/**
+ * Train APOLLO_tau on a tau-aggregated dataset (features are average
+ * toggle rates in [0, 1]; see §4.5). The returned weights are directly
+ * usable in the Eq. (9) per-cycle accumulate-then-shift inference.
+ */
+ApolloTrainResult trainApolloOnCounts(const CountDataset &train,
+                                      const ApolloTrainConfig &config,
+                                      const std::string &design_name = "");
+
+/**
+ * Ridge-relax an arbitrary proxy set against a per-cycle dataset
+ * (shared by baselines and by trainApollo itself).
+ */
+ApolloTrainResult relaxProxySet(const Dataset &train,
+                                const std::vector<uint32_t> &proxy_ids,
+                                const ApolloTrainConfig &config,
+                                const std::string &design_name = "");
+
+} // namespace apollo
+
+#endif // APOLLO_CORE_APOLLO_TRAINER_HH

@@ -1,0 +1,311 @@
+#include "core/baselines.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "ml/kmeans.hh"
+#include "ml/neural_net.hh"
+#include "ml/pca.hh"
+#include "util/logging.hh"
+
+namespace apollo {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** |<x_j, y - mean(y)>| / sqrt(<x_j,x_j>) — correlation-style score. */
+double
+corrScore(const BitColumnMatrix &X, size_t col,
+          const std::vector<float> &y_centered)
+{
+    const double nnz = static_cast<double>(X.colPopcount(col));
+    if (nnz == 0.0)
+        return 0.0;
+    return std::abs(X.dotColumn(col, y_centered.data())) /
+           std::sqrt(nnz);
+}
+
+std::vector<float>
+centered(std::span<const float> y)
+{
+    double mu = 0.0;
+    for (float v : y)
+        mu += v;
+    mu /= static_cast<double>(y.size());
+    std::vector<float> out(y.size());
+    for (size_t i = 0; i < y.size(); ++i)
+        out[i] = static_cast<float>(y[i] - mu);
+    return out;
+}
+
+/** AND of two packed binary columns into an output column. */
+void
+andColumns(const BitColumnMatrix &X, uint32_t a, uint32_t b,
+           BitColumnMatrix &out, size_t out_col)
+{
+    const uint64_t *wa = X.colWords(a);
+    const uint64_t *wb = X.colWords(b);
+    uint64_t *wo = out.colWordsMutable(out_col);
+    for (size_t k = 0; k < X.wordsPerCol(); ++k)
+        wo[k] = wa[k] & wb[k];
+}
+
+/** Ranked polynomial pairs among the representatives. */
+std::vector<std::pair<uint32_t, uint32_t>>
+choosePolyPairs(const BitColumnMatrix &X,
+                const std::vector<uint32_t> &reps,
+                const std::vector<float> &y_centered, size_t max_terms)
+{
+    // Rank representatives by individual correlation, pair the top ones.
+    std::vector<std::pair<double, uint32_t>> ranked;
+    ranked.reserve(reps.size());
+    for (uint32_t r : reps)
+        ranked.emplace_back(corrScore(X, r, y_centered), r);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) { return a.first > b.first; });
+    const size_t top = std::min<size_t>(
+        ranked.size(),
+        static_cast<size_t>(std::ceil(std::sqrt(2.0 * max_terms))) + 2);
+
+    std::vector<std::pair<uint32_t, uint32_t>> pairs;
+    for (size_t i = 0; i < top && pairs.size() < max_terms; ++i)
+        for (size_t j = i + 1; j < top && pairs.size() < max_terms; ++j)
+            pairs.emplace_back(ranked[i].second, ranked[j].second);
+    return pairs;
+}
+
+/** Elastic-net fit with lambda1 given as a fraction of lambdaMax. */
+CdResult
+elasticNetFit(const FeatureView &view, std::span<const float> y,
+              double lambda1_frac, double lambda2)
+{
+    CdSolver solver(view, y);
+    CdConfig cfg;
+    cfg.penalty.kind = PenaltyKind::Lasso;
+    cfg.penalty.lambda = solver.lambdaMax() * lambda1_frac;
+    cfg.penalty.lambda2 = lambda2;
+    cfg.maxSweeps = 300;
+    cfg.tol = 1e-5;
+    return solver.fit(cfg);
+}
+
+} // namespace
+
+BaselineResult
+trainLassoBaseline(const Dataset &train, const Dataset &test,
+                   size_t target_q)
+{
+    auto t0 = std::chrono::steady_clock::now();
+
+    BitFeatureView view(train.X);
+    CdSolver solver(view, train.y);
+    CdConfig cfg;
+    cfg.penalty.kind = PenaltyKind::Lasso;
+    cfg.maxSweeps = 250;
+    cfg.tol = 1e-4;
+    TargetQDiagnostics diag;
+    const CdResult fit = solveForTargetQ(solver, cfg, target_q, &diag);
+
+    BaselineResult res;
+    res.name = "Lasso";
+    res.trainSeconds = secondsSince(t0);
+    res.proxyIds = fit.support();
+    res.monitoredSignals = res.proxyIds.size();
+
+    // No relaxation: the (over-shrunk) Lasso model IS the final model.
+    ApolloModel model;
+    model.proxyIds = res.proxyIds;
+    model.intercept = fit.intercept;
+    for (uint32_t j : res.proxyIds)
+        model.weights.push_back(fit.w[j]);
+    res.sumAbsWeights = model.sumAbsWeights();
+    res.testPred = model.predictFull(test.X);
+    return res;
+}
+
+BaselineResult
+trainSimmaniBaseline(const Dataset &train, const Dataset &test,
+                     const SimmaniConfig &config)
+{
+    auto t0 = std::chrono::steady_clock::now();
+
+    KmeansConfig km;
+    km.k = static_cast<uint32_t>(config.clusters);
+    km.seed = config.seed;
+    const KmeansResult clusters = kmeansSignals(train.X, km);
+    std::vector<uint32_t> reps = clusters.representatives;
+    std::sort(reps.begin(), reps.end());
+    reps.erase(std::unique(reps.begin(), reps.end()), reps.end());
+
+    const std::vector<float> yc = centered(train.y);
+    const auto pairs =
+        choosePolyPairs(train.X, reps, yc, config.maxPolyTerms);
+
+    // Feature matrix: representatives then AND-product terms.
+    auto build_features = [&](const BitColumnMatrix &source) {
+        BitColumnMatrix feats(source.rows(), reps.size() + pairs.size());
+        for (size_t q = 0; q < reps.size(); ++q) {
+            const uint64_t *src = source.colWords(reps[q]);
+            uint64_t *dst = feats.colWordsMutable(q);
+            std::copy_n(src, source.wordsPerCol(), dst);
+        }
+        for (size_t p = 0; p < pairs.size(); ++p)
+            andColumns(source, pairs[p].first, pairs[p].second, feats,
+                       reps.size() + p);
+        return feats;
+    };
+
+    const BitColumnMatrix train_feats = build_features(train.X);
+    BitFeatureView view(train_feats);
+    const CdResult fit =
+        elasticNetFit(view, train.y, config.lambda1, config.lambda2);
+
+    BaselineResult res;
+    res.name = "Simmani";
+    res.trainSeconds = secondsSince(t0);
+    res.proxyIds = reps;
+    res.monitoredSignals = reps.size();
+
+    const BitColumnMatrix test_feats = build_features(test.X);
+    res.testPred.assign(test_feats.rows(),
+                        static_cast<float>(fit.intercept));
+    for (size_t j = 0; j < fit.w.size(); ++j)
+        if (fit.w[j] != 0.0f)
+            test_feats.axpyColumn(j, fit.w[j], res.testPred.data());
+    return res;
+}
+
+BaselineResult
+trainSimmaniWindowed(const Dataset &train, const Dataset &test,
+                     uint32_t T, const SimmaniConfig &config)
+{
+    APOLLO_REQUIRE(T >= 2 && T <= 255, "window size out of range");
+    auto t0 = std::chrono::steady_clock::now();
+
+    KmeansConfig km;
+    km.k = static_cast<uint32_t>(config.clusters);
+    km.seed = config.seed;
+    const KmeansResult clusters = kmeansSignals(train.X, km);
+    std::vector<uint32_t> reps = clusters.representatives;
+    std::sort(reps.begin(), reps.end());
+    reps.erase(std::unique(reps.begin(), reps.end()), reps.end());
+
+    const std::vector<float> yc = centered(train.y);
+    const auto pairs =
+        choosePolyPairs(train.X, reps, yc, config.maxPolyTerms);
+
+    const float inv_t = 1.0f / static_cast<float>(T);
+    auto build_features = [&](const Dataset &ds,
+                              std::vector<float> &labels) {
+        const CountDataset agg = aggregateIntervals(ds, T);
+        labels = agg.y;
+        DenseColumnMatrix feats(agg.intervals(),
+                                reps.size() + pairs.size());
+        std::vector<size_t> rep_index(train.X.cols(), SIZE_MAX);
+        for (size_t q = 0; q < reps.size(); ++q) {
+            rep_index[reps[q]] = q;
+            const uint8_t *src = agg.X.colData(reps[q]);
+            float *dst = feats.colData(q);
+            for (size_t i = 0; i < agg.intervals(); ++i)
+                dst[i] = inv_t * static_cast<float>(src[i]);
+        }
+        for (size_t p = 0; p < pairs.size(); ++p) {
+            const float *a = feats.colData(rep_index[pairs[p].first]);
+            const float *b = feats.colData(rep_index[pairs[p].second]);
+            float *dst = feats.colData(reps.size() + p);
+            for (size_t i = 0; i < agg.intervals(); ++i)
+                dst[i] = a[i] * b[i];
+        }
+        return feats;
+    };
+
+    std::vector<float> train_labels;
+    const DenseColumnMatrix train_feats =
+        build_features(train, train_labels);
+    DenseFeatureView view(train_feats);
+    const CdResult fit = elasticNetFit(view, train_labels,
+                                       config.lambda1, config.lambda2);
+
+    BaselineResult res;
+    res.name = "Simmani";
+    res.trainSeconds = secondsSince(t0);
+    res.proxyIds = reps;
+    res.monitoredSignals = reps.size();
+
+    std::vector<float> test_labels;
+    const DenseColumnMatrix test_feats = build_features(test, test_labels);
+    DenseFeatureView test_view(test_feats);
+    res.testPred.resize(test_feats.rows());
+    test_view.predict(fit.w, fit.intercept, res.testPred.data());
+    return res;
+}
+
+BaselineResult
+trainPcaBaseline(const Dataset &train, const Dataset &test,
+                 size_t components)
+{
+    auto t0 = std::chrono::steady_clock::now();
+
+    const PcaModel pca = fitPca(train.X, components);
+    const std::vector<float> z_train = pca.projectAll(train.X);
+
+    // Repack row-major projections into a column-major dense matrix.
+    auto repack = [&](const std::vector<float> &z, size_t rows) {
+        DenseColumnMatrix out(rows, components);
+        for (size_t i = 0; i < rows; ++i)
+            for (size_t k = 0; k < components; ++k)
+                out.set(i, k, z[i * components + k]);
+        return out;
+    };
+    const DenseColumnMatrix feats = repack(z_train, train.cycles());
+    DenseFeatureView view(feats);
+    CdSolver solver(view, train.y);
+    CdConfig cfg;
+    cfg.penalty.kind = PenaltyKind::Ridge;
+    cfg.penalty.lambda2 = 1e-4;
+    cfg.maxSweeps = 400;
+    cfg.tol = 1e-6;
+    const CdResult fit = solver.fit(cfg);
+
+    BaselineResult res;
+    res.name = "PCA";
+    res.trainSeconds = secondsSince(t0);
+    res.monitoredSignals = train.signals(); // needs every signal
+
+    const std::vector<float> z_test = pca.projectAll(test.X);
+    const DenseColumnMatrix test_feats = repack(z_test, test.cycles());
+    DenseFeatureView test_view(test_feats);
+    res.testPred.resize(test.cycles());
+    test_view.predict(fit.w, fit.intercept, res.testPred.data());
+    return res;
+}
+
+BaselineResult
+trainPrimalNetBaseline(const Dataset &train, const Dataset &test,
+                       const std::vector<uint32_t> &flipflop_ids,
+                       uint32_t epochs)
+{
+    auto t0 = std::chrono::steady_clock::now();
+
+    NeuralNetConfig cfg;
+    cfg.epochs = epochs;
+    PowerNet net;
+    net.train(train.X, flipflop_ids, train.y, cfg);
+
+    BaselineResult res;
+    res.name = "PRIMAL-CNN";
+    res.trainSeconds = secondsSince(t0);
+    res.monitoredSignals = flipflop_ids.size();
+    res.testPred = net.predict(test.X);
+    return res;
+}
+
+} // namespace apollo

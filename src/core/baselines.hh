@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The baseline power-modeling methods of Table 5:
+ *  - Lasso [53] (Pagliari et al.): Lasso proxy selection, and the Lasso
+ *    model itself is the final model (no relaxation).
+ *  - Simmani [40]: unsupervised K-means signal clustering picks one
+ *    representative per cluster; features are the Q representatives
+ *    plus 2nd-order polynomial (AND) terms; model is an elastic net.
+ *  - PRIMAL-PCA [79]: PCA over all signals + linear model on the
+ *    components (no proxy selection; needs all M signals at inference).
+ *  - PRIMAL-CNN-class [79]: nonlinear net over all flip-flop signals
+ *    (see ml/neural_net.hh for the documented substitution).
+ */
+
+#ifndef APOLLO_CORE_BASELINES_HH
+#define APOLLO_CORE_BASELINES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/apollo_model.hh"
+#include "core/multi_cycle.hh"
+#include "trace/dataset.hh"
+
+namespace apollo {
+
+/** A trained baseline, evaluated on a test set. */
+struct BaselineResult
+{
+    std::string name;
+    std::vector<float> testPred;
+    /** Number of monitored signals (Q; M for PCA/CNN). */
+    size_t monitoredSignals = 0;
+    double trainSeconds = 0.0;
+    double sumAbsWeights = 0.0; ///< linear models only (Fig. 13)
+    std::vector<uint32_t> proxyIds;
+};
+
+/** Lasso selection + Lasso model (no relaxation), per [53]. */
+BaselineResult trainLassoBaseline(const Dataset &train,
+                                  const Dataset &test, size_t target_q);
+
+/** Simmani configuration. */
+struct SimmaniConfig
+{
+    size_t clusters = 200;
+    /** Polynomial terms kept (strongest pairs among representatives). */
+    size_t maxPolyTerms = 400;
+    /** Elastic-net strengths. */
+    double lambda1 = 1e-4;
+    double lambda2 = 1e-3;
+    uint64_t seed = 0x51aaULL;
+};
+
+/** Simmani per-cycle variant (used in Fig. 10/12). */
+BaselineResult trainSimmaniBaseline(const Dataset &train,
+                                    const Dataset &test,
+                                    const SimmaniConfig &config);
+
+/**
+ * Simmani multi-cycle variant (Fig. 11): features averaged over
+ * T-cycle windows, polynomial terms computed on the averages.
+ * Predictions are per T-window (aligned with windowAverageLabels).
+ */
+BaselineResult trainSimmaniWindowed(const Dataset &train,
+                                    const Dataset &test, uint32_t T,
+                                    const SimmaniConfig &config);
+
+/** PCA + linear model on k components. */
+BaselineResult trainPcaBaseline(const Dataset &train, const Dataset &test,
+                                size_t components);
+
+/** Nonlinear net over the given flip-flop signal ids. */
+BaselineResult trainPrimalNetBaseline(
+    const Dataset &train, const Dataset &test,
+    const std::vector<uint32_t> &flipflop_ids, uint32_t epochs = 8);
+
+} // namespace apollo
+
+#endif // APOLLO_CORE_BASELINES_HH

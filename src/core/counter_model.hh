@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Event-counter power model — the classic runtime approach APOLLO
+ * displaces (§2.2, Table 1 "event counters" row): a linear model over
+ * a handful of PMU-style event rates (retired ops, ALU/vector issue,
+ * memory traffic, cache misses) accumulated over fixed epochs.
+ *
+ * Counter models are "free" (the counters already exist) but the
+ * events they see manifest cycles after the causal switching activity
+ * and are far coarser than per-net toggles, so their accuracy
+ * collapses as the epoch shrinks — the motivation for proxy-based
+ * OPMs. The bench (bench_ext_counters) measures exactly that
+ * resolution sweep.
+ */
+
+#ifndef APOLLO_CORE_COUNTER_MODEL_HH
+#define APOLLO_CORE_COUNTER_MODEL_HH
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/dataset.hh"
+#include "uarch/activity_frame.hh"
+
+namespace apollo {
+
+/** The PMU-style events the model may read. */
+enum class CounterEvent : uint8_t
+{
+    RetiredOps,   ///< retire-stage activity
+    IntIssue,     ///< integer ALU issue activity
+    VecIssue,     ///< vector issue activity
+    MemIssue,     ///< load/store issue activity
+    L1DActivity,  ///< data-cache traffic
+    L2Activity,   ///< L2 traffic (miss-driven)
+    FrontendOps,  ///< fetch/decode activity
+    NumEvents,
+};
+
+constexpr size_t numCounterEvents =
+    static_cast<size_t>(CounterEvent::NumEvents);
+
+/** Name of a counter event. */
+const char *counterEventName(CounterEvent event);
+
+/**
+ * Per-epoch counter readings derived from the frame stream: each event
+ * accumulates its unit-activity over the epoch (what a hardware
+ * counter of that event would have counted, up to scale).
+ * Epochs never straddle segment boundaries.
+ */
+struct CounterTrace
+{
+    /** Row-major epochs x numCounterEvents. */
+    std::vector<float> counts;
+    std::vector<float> epochPower; ///< average label per epoch
+    uint32_t epochCycles = 0;
+    size_t epochs = 0;
+};
+
+/** Accumulate counters over @p epoch_cycles-cycle epochs. */
+CounterTrace collectCounters(std::span<const ActivityFrame> frames,
+                             std::span<const float> power,
+                             const std::vector<SegmentInfo> &segments,
+                             uint32_t epoch_cycles);
+
+/** Linear model over the event rates. */
+struct CounterPowerModel
+{
+    std::vector<float> weights; ///< numCounterEvents
+    double intercept = 0.0;
+    uint32_t trainedEpochCycles = 0;
+
+    /** Predict per-epoch power for a counter trace. */
+    std::vector<float> predict(const CounterTrace &trace) const;
+};
+
+/** Ridge-fit the counter model at the trace's epoch size. */
+CounterPowerModel trainCounterModel(const CounterTrace &trace,
+                                    double ridge = 1e-4);
+
+} // namespace apollo
+
+#endif // APOLLO_CORE_COUNTER_MODEL_HH

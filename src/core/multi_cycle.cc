@@ -1,0 +1,96 @@
+#include "core/multi_cycle.hh"
+
+#include "util/logging.hh"
+
+namespace apollo {
+
+namespace {
+
+/**
+ * Shared Eq. (9) kernel: per-cycle linear sums, averaged per T-window.
+ * @p column_of maps model proxy index q to the matrix column to read.
+ */
+std::vector<float>
+predictWindowsImpl(const ApolloModel &model, const BitColumnMatrix &X,
+                   uint32_t T, const std::vector<SegmentInfo> &segments,
+                   bool proxy_layout)
+{
+    APOLLO_REQUIRE(T >= 1, "window size must be positive");
+    // Per-cycle weighted sums (binary AND-accumulate).
+    std::vector<float> per_cycle(X.rows(), 0.0f);
+    for (size_t q = 0; q < model.proxyIds.size(); ++q) {
+        const size_t col = proxy_layout ? q : model.proxyIds[q];
+        APOLLO_REQUIRE(col < X.cols(), "column out of range");
+        if (model.weights[q] != 0.0f)
+            X.axpyColumn(col, model.weights[q], per_cycle.data());
+    }
+
+    std::vector<float> out;
+    for (const SegmentInfo &seg : segments) {
+        const size_t windows = seg.cycles() / T;
+        for (size_t w = 0; w < windows; ++w) {
+            double acc = 0.0;
+            for (uint32_t t = 0; t < T; ++t)
+                acc += per_cycle[seg.begin + w * T + t];
+            out.push_back(static_cast<float>(
+                model.intercept + acc / static_cast<double>(T)));
+        }
+    }
+    APOLLO_REQUIRE(!out.empty(), "no full windows at this T");
+    return out;
+}
+
+} // namespace
+
+std::vector<float>
+MultiCycleModel::predictWindowsFull(
+    const BitColumnMatrix &X, uint32_t T,
+    const std::vector<SegmentInfo> &segments) const
+{
+    return predictWindowsImpl(base, X, T, segments, false);
+}
+
+std::vector<float>
+MultiCycleModel::predictWindowsProxies(
+    const BitColumnMatrix &Xq, uint32_t T,
+    const std::vector<SegmentInfo> &segments) const
+{
+    return predictWindowsImpl(base, Xq, T, segments, true);
+}
+
+MultiCycleModel
+trainMultiCycle(const Dataset &train, uint32_t tau,
+                const ApolloTrainConfig &config,
+                const std::string &design_name)
+{
+    MultiCycleModel model;
+    model.tau = tau;
+    if (tau == 1) {
+        model.base = trainApollo(train, config, design_name).model;
+        return model;
+    }
+    const CountDataset agg = aggregateIntervals(train, tau);
+    model.base =
+        trainApolloOnCounts(agg, config, design_name).model;
+    return model;
+}
+
+std::vector<float>
+windowAverageLabels(const std::vector<float> &y, uint32_t T,
+                    const std::vector<SegmentInfo> &segments)
+{
+    std::vector<float> out;
+    for (const SegmentInfo &seg : segments) {
+        const size_t windows = seg.cycles() / T;
+        for (size_t w = 0; w < windows; ++w) {
+            double acc = 0.0;
+            for (uint32_t t = 0; t < T; ++t)
+                acc += y[seg.begin + w * T + t];
+            out.push_back(
+                static_cast<float>(acc / static_cast<double>(T)));
+        }
+    }
+    return out;
+}
+
+} // namespace apollo

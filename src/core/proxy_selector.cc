@@ -1,0 +1,33 @@
+#include "core/proxy_selector.hh"
+
+#include "util/logging.hh"
+
+namespace apollo {
+
+ProxySelection
+selectProxies(const FeatureView &X, std::span<const float> y,
+              const ProxySelectorConfig &config)
+{
+    APOLLO_REQUIRE(config.kind == PenaltyKind::Mcp ||
+                       config.kind == PenaltyKind::Lasso,
+                   "selection needs a sparsity-inducing penalty");
+
+    CdConfig cd;
+    cd.penalty.kind = config.kind;
+    cd.penalty.gamma = config.gamma;
+    cd.penalty.lambda2 = config.lambda2;
+    cd.penalty.nonneg = config.nonneg;
+    cd.maxSweeps = config.maxSweeps;
+    cd.tol = config.tol;
+
+    CdSolver solver(X, y);
+
+    ProxySelection selection;
+    selection.sparseModel =
+        solveForTargetQ(solver, cd, config.targetQ,
+                        &selection.diagnostics);
+    selection.proxyIds = selection.sparseModel.support();
+    return selection;
+}
+
+} // namespace apollo

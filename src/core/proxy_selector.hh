@@ -1,0 +1,53 @@
+/**
+ * @file
+ * ProxySelector: the MCP-based power-proxy selection of §4.3. A sparse
+ * linear model over all M candidate signals is fit with the MCP penalty
+ * (coordinate descent + warm-started lambda path); the signals with
+ * nonzero weights become the Q power proxies. The penalty strength is
+ * searched to hit the requested Q.
+ */
+
+#ifndef APOLLO_CORE_PROXY_SELECTOR_HH
+#define APOLLO_CORE_PROXY_SELECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/coordinate_descent.hh"
+#include "ml/solver_path.hh"
+
+namespace apollo {
+
+/** Selection configuration. */
+struct ProxySelectorConfig
+{
+    size_t targetQ = 159;
+    /** Penalty family: Mcp for APOLLO, Lasso for the [53] baseline. */
+    PenaltyKind kind = PenaltyKind::Mcp;
+    /** MCP concavity (threshold gamma*lambda); the paper uses 10. */
+    double gamma = 10.0;
+    /** Optional small L2 stabilizer during selection. */
+    double lambda2 = 0.0;
+    /** Constrain selection weights to be non-negative. */
+    bool nonneg = false;
+    uint32_t maxSweeps = 250;
+    double tol = 1e-4;
+};
+
+/** Selection output: the proxies and the temporary (pruned) model. */
+struct ProxySelection
+{
+    std::vector<uint32_t> proxyIds;
+    /** The sparse temporary model p' (weights over all M columns). */
+    CdResult sparseModel;
+    TargetQDiagnostics diagnostics;
+};
+
+/** Run proxy selection over a feature view. */
+ProxySelection selectProxies(const FeatureView &X,
+                             std::span<const float> y,
+                             const ProxySelectorConfig &config);
+
+} // namespace apollo
+
+#endif // APOLLO_CORE_PROXY_SELECTOR_HH

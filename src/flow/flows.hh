@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Design-time power-analysis flows (Fig. 7):
+ *  (a) commercial-style: full-signal trace + sign-off power calculation,
+ *  (b) APOLLO-assisted: full RTL simulation but power from the linear
+ *      model,
+ *  (c) emulator-assisted: only the Q proxy bits are traced (storage and
+ *      compute proportional to Q, not M) and power comes from the model
+ *      — the flow that makes per-cycle tracing of multi-million-cycle
+ *      workloads practical (Fig. 16).
+ *
+ * Each flow reports wall-clock per stage and the trace storage volume,
+ * so the benches can reproduce the paper's speed/storage comparisons.
+ */
+
+#ifndef APOLLO_FLOW_FLOWS_HH
+#define APOLLO_FLOW_FLOWS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/apollo_model.hh"
+#include "power/power_oracle.hh"
+#include "trace/toggle_trace.hh"
+#include "uarch/core.hh"
+
+namespace apollo {
+
+/** Timing/size accounting for one flow run. */
+struct FlowReport
+{
+    std::string flowName;
+    uint64_t cycles = 0;
+    /** RTL-simulation / emulation stage (frame generation). */
+    double simSeconds = 0.0;
+    /** Toggle extraction stage. */
+    double traceSeconds = 0.0;
+    /** Power computation stage (oracle or model inference). */
+    double powerSeconds = 0.0;
+    /** Bits stored per cycle * cycles, in bytes. */
+    uint64_t traceBytes = 0;
+    /** The per-cycle power estimate. */
+    std::vector<float> power;
+
+    double totalSeconds() const
+    {
+        return simSeconds + traceSeconds + powerSeconds;
+    }
+};
+
+/** Runs the three flows over one design. */
+class DesignTimeFlows
+{
+  public:
+    DesignTimeFlows(const Netlist &netlist,
+                    const CoreParams &core_params = CoreParams::defaults(),
+                    const PowerParams &power_params = PowerParams{});
+
+    /** Fig. 7(a): all-signal trace + ground-truth power. */
+    FlowReport runCommercialFlow(const Program &prog,
+                                 uint64_t max_cycles);
+
+    /** Fig. 7(b): all-signal trace + APOLLO model inference. */
+    FlowReport runApolloFlow(const Program &prog, uint64_t max_cycles,
+                             const ApolloModel &model);
+
+    /** Fig. 7(c): proxy-only trace + APOLLO model inference. */
+    FlowReport runEmulatorFlow(const Program &prog, uint64_t max_cycles,
+                               const ApolloModel &model);
+
+  private:
+    const Netlist &netlist_;
+    CoreParams coreParams_;
+    PowerParams powerParams_;
+};
+
+/**
+ * A long, phase-rich workload (compute / vector / memory / branchy /
+ * idle phases) standing in for the SPEC-class traces of Fig. 16.
+ * @p approx_cycles controls total length (within ~20%).
+ */
+Program makeLongWorkload(const std::string &name, uint64_t approx_cycles,
+                         uint64_t seed = 0x10119ULL);
+
+} // namespace apollo
+
+#endif // APOLLO_FLOW_FLOWS_HH

@@ -1,0 +1,323 @@
+#include "gen/ga_generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace apollo {
+
+namespace {
+
+/**
+ * Instruction-generation policy. Register conventions:
+ *  - x0..x27: general scalar data registers (ALU destinations)
+ *  - x28, x29: walking pointers (only incremented, never clobbered)
+ *  - x30: memory base (read-only), x31: loop counter (reserved)
+ *  - v0..v15: vector data registers
+ */
+constexpr int maxDataReg = 27;
+
+Instruction
+randomInstruction(Xoshiro256StarStar &rng)
+{
+    using namespace asm_helpers;
+    auto data_reg = [&] {
+        return static_cast<int>(rng.nextBounded(maxDataReg + 1));
+    };
+    auto vec_reg = [&] {
+        return static_cast<int>(rng.nextBounded(numVectorRegs));
+    };
+    auto ptr_reg = [&] { return 28 + static_cast<int>(rng.nextBounded(2)); };
+    auto mem_off = [&] {
+        return static_cast<int32_t>(8 * rng.nextBounded(512));
+    };
+
+    // Weighted opcode mix biased toward the units that dominate power.
+    const double u = rng.nextDouble();
+    if (u < 0.26) { // scalar ALU
+        const int kind = static_cast<int>(rng.nextBounded(6));
+        const int rd = data_reg(), rn = data_reg(), rm = data_reg();
+        switch (kind) {
+          case 0: return add(rd, rn, rm);
+          case 1: return sub(rd, rn, rm);
+          case 2: return and_(rd, rn, rm);
+          case 3: return orr(rd, rn, rm);
+          case 4: return eor(rd, rn, rm);
+          default: return lsl(rd, rn, rm);
+        }
+    }
+    if (u < 0.33) { // immediate ALU / pointer bumps
+        if (rng.nextDouble() < 0.3) {
+            const int p = ptr_reg();
+            return addi(p, p, static_cast<int32_t>(8 * rng.nextBounded(16)));
+        }
+        return addi(data_reg(), data_reg(),
+                    static_cast<int32_t>(rng.nextBounded(4096)));
+    }
+    if (u < 0.40) { // long-latency integer
+        if (rng.nextDouble() < 0.85)
+            return mul(data_reg(), data_reg(), data_reg());
+        return div(data_reg(), data_reg(), data_reg());
+    }
+    if (u < 0.62) { // vector
+        const int kind = static_cast<int>(rng.nextBounded(4));
+        const int vd = vec_reg(), vn = vec_reg(), vm = vec_reg();
+        switch (kind) {
+          case 0: return vadd(vd, vn, vm);
+          case 1: return vmul(vd, vn, vm);
+          default: return vfma(vd, vn, vm);
+        }
+    }
+    if (u < 0.80) { // scalar memory
+        const double m = rng.nextDouble();
+        if (m < 0.12) {
+            // Pointer chase: dependent loads through random memory —
+            // the lowest-power behaviour (core drains on every miss).
+            const int p = ptr_reg();
+            return ldr(p, p, static_cast<int32_t>(8 * rng.nextBounded(8)));
+        }
+        if (m < 0.55)
+            return ldr(data_reg(), rng.nextDouble() < 0.7 ? 30 : ptr_reg(),
+                       mem_off());
+        if (m < 0.9)
+            return str(data_reg(), rng.nextDouble() < 0.7 ? 30 : ptr_reg(),
+                       mem_off());
+        return prfm(30, mem_off());
+    }
+    if (u < 0.94) { // vector memory
+        if (rng.nextDouble() < 0.6)
+            return vldr(vec_reg(), 30, mem_off());
+        return vstr(vec_reg(), 30, mem_off());
+    }
+    return nop();
+}
+
+} // namespace
+
+GaGenerator::GaGenerator(const DatasetBuilder &builder,
+                         const GaConfig &config)
+    : builder_(builder), config_(config)
+{
+    APOLLO_REQUIRE(config.populationSize >= 4, "population too small");
+    APOLLO_REQUIRE(config.elites < config.populationSize,
+                   "elites must be < population");
+}
+
+std::vector<Instruction>
+GaGenerator::randomBody(Xoshiro256StarStar &rng, uint32_t min_len,
+                        uint32_t max_len)
+{
+    const uint32_t len = min_len +
+        static_cast<uint32_t>(rng.nextBounded(max_len - min_len + 1));
+    std::vector<Instruction> body;
+    body.reserve(len);
+    for (uint32_t i = 0; i < len; ++i)
+        body.push_back(randomInstruction(rng));
+    return body;
+}
+
+GaIndividual
+GaGenerator::randomIndividual(Xoshiro256StarStar &rng,
+                              uint32_t generation) const
+{
+    GaIndividual ind;
+    ind.body = randomBody(rng, config_.bodyMinLen, config_.bodyMaxLen);
+    ind.dataSeed = rng();
+    ind.generation = generation;
+    return ind;
+}
+
+Program
+GaGenerator::toProgram(const GaIndividual &ind, const std::string &name,
+                       int iterations)
+{
+    return Program::makeLoop(name, ind.body, iterations, ind.dataSeed);
+}
+
+void
+GaGenerator::evaluate(GaIndividual &ind) const
+{
+    // Trip count sized so the loop comfortably outlives the cycle
+    // budget (the simulation is capped at fitnessCycles).
+    const int iters = std::clamp<int>(
+        static_cast<int>(5 * (config_.fitnessCycles + 400) /
+                         ind.body.size()),
+        4, 8000);
+    const Program prog = toProgram(ind, "ga", iters);
+    ind.avgPower = builder_.averagePower(prog, config_.fitnessCycles,
+                                         config_.fitnessSignalStride);
+}
+
+const GaIndividual &
+GaGenerator::tournament(const std::vector<GaIndividual> &pop,
+                        Xoshiro256StarStar &rng) const
+{
+    const GaIndividual *winner =
+        &pop[rng.nextBounded(pop.size())];
+    for (uint32_t t = 1; t < config_.tournamentSize; ++t) {
+        const GaIndividual *challenger =
+            &pop[rng.nextBounded(pop.size())];
+        if (challenger->avgPower > winner->avgPower)
+            winner = challenger;
+    }
+    return *winner;
+}
+
+void
+GaGenerator::mutate(GaIndividual &ind, Xoshiro256StarStar &rng) const
+{
+    for (Instruction &inst : ind.body) {
+        if (rng.nextDouble() < config_.mutationRate)
+            inst = randomInstruction(rng);
+    }
+    if (rng.nextDouble() < config_.mutationRate && ind.body.size() > 2) {
+        // Swap two instructions (scheduling mutation).
+        const size_t a = rng.nextBounded(ind.body.size());
+        const size_t b = rng.nextBounded(ind.body.size());
+        std::swap(ind.body[a], ind.body[b]);
+    }
+    if (rng.nextDouble() < config_.mutationRate)
+        ind.dataSeed = rng();
+    if (rng.nextDouble() < 0.5 * config_.mutationRate) {
+        // Grow or shrink by one instruction within bounds.
+        if (rng.nextDouble() < 0.5 &&
+            ind.body.size() < config_.bodyMaxLen) {
+            ind.body.insert(
+                ind.body.begin() +
+                    static_cast<long>(rng.nextBounded(ind.body.size())),
+                randomInstruction(rng));
+        } else if (ind.body.size() > config_.bodyMinLen) {
+            ind.body.erase(
+                ind.body.begin() +
+                static_cast<long>(rng.nextBounded(ind.body.size())));
+        }
+    }
+}
+
+void
+GaGenerator::run()
+{
+    Xoshiro256StarStar rng(config_.seed);
+
+    std::vector<GaIndividual> population;
+    population.reserve(config_.populationSize);
+    for (uint32_t i = 0; i < config_.populationSize; ++i)
+        population.push_back(randomIndividual(rng, 0));
+
+    for (uint32_t gen = 0; gen < config_.generations; ++gen) {
+        for (GaIndividual &ind : population) {
+            ind.generation = gen;
+            evaluate(ind);
+            all_.push_back(ind);
+        }
+
+        if (gen + 1 == config_.generations)
+            break;
+
+        // Elitism + tournament reproduction.
+        std::vector<GaIndividual> sorted = population;
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const GaIndividual &a, const GaIndividual &b) {
+                      return a.avgPower > b.avgPower;
+                  });
+
+        std::vector<GaIndividual> next;
+        next.reserve(config_.populationSize);
+        for (uint32_t e = 0; e < config_.elites; ++e)
+            next.push_back(sorted[e]);
+
+        while (next.size() < config_.populationSize) {
+            GaIndividual child = tournament(population, rng);
+            if (rng.nextDouble() < config_.crossoverRate) {
+                const GaIndividual &other = tournament(population, rng);
+                // Single-point crossover on the bodies.
+                const size_t cut_a =
+                    1 + rng.nextBounded(child.body.size() - 1);
+                const size_t cut_b =
+                    1 + rng.nextBounded(other.body.size() - 1);
+                std::vector<Instruction> merged(
+                    child.body.begin(),
+                    child.body.begin() + static_cast<long>(cut_a));
+                merged.insert(merged.end(),
+                              other.body.begin() +
+                                  static_cast<long>(cut_b),
+                              other.body.end());
+                if (merged.size() > config_.bodyMaxLen)
+                    merged.resize(config_.bodyMaxLen);
+                if (merged.size() >= config_.bodyMinLen)
+                    child.body = std::move(merged);
+            }
+            mutate(child, rng);
+            next.push_back(std::move(child));
+        }
+        population = std::move(next);
+    }
+}
+
+const GaIndividual &
+GaGenerator::best() const
+{
+    APOLLO_REQUIRE(!all_.empty(), "run() first");
+    const GaIndividual *best = &all_[0];
+    for (const GaIndividual &ind : all_)
+        if (ind.avgPower > best->avgPower)
+            best = &ind;
+    return *best;
+}
+
+double
+GaGenerator::powerRangeRatio() const
+{
+    APOLLO_REQUIRE(!all_.empty(), "run() first");
+    double lo = all_[0].avgPower;
+    double hi = all_[0].avgPower;
+    for (const GaIndividual &ind : all_) {
+        lo = std::min(lo, ind.avgPower);
+        hi = std::max(hi, ind.avgPower);
+    }
+    return lo > 0 ? hi / lo : 0.0;
+}
+
+std::vector<GaIndividual>
+GaGenerator::selectTrainingSet(size_t count) const
+{
+    APOLLO_REQUIRE(!all_.empty(), "run() first");
+    // Bucket individuals by power, then round-robin across buckets so
+    // the selected subset covers the power range uniformly.
+    const size_t n_bins = std::max<size_t>(8, count / 4);
+    double lo = all_[0].avgPower, hi = all_[0].avgPower;
+    for (const GaIndividual &ind : all_) {
+        lo = std::min(lo, ind.avgPower);
+        hi = std::max(hi, ind.avgPower);
+    }
+    const double width = std::max(1e-12, (hi - lo) / n_bins);
+
+    std::vector<std::vector<const GaIndividual *>> bins(n_bins);
+    for (const GaIndividual &ind : all_) {
+        size_t b = static_cast<size_t>((ind.avgPower - lo) / width);
+        b = std::min(b, n_bins - 1);
+        bins[b].push_back(&ind);
+    }
+
+    std::vector<GaIndividual> selected;
+    selected.reserve(count);
+    size_t round = 0;
+    while (selected.size() < count) {
+        bool any = false;
+        for (auto &bin : bins) {
+            if (round < bin.size()) {
+                selected.push_back(*bin[round]);
+                any = true;
+                if (selected.size() == count)
+                    break;
+            }
+        }
+        if (!any)
+            break; // all bins exhausted
+        round++;
+    }
+    return selected;
+}
+
+} // namespace apollo

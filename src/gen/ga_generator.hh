@@ -1,0 +1,110 @@
+/**
+ * @file
+ * GA-based automatic training-data generation (§4.1, GeST-style [28]).
+ *
+ * Individuals are loop bodies over a constrained instruction set.
+ * Fitness is the average ground-truth power of the individual's
+ * micro-benchmark on the target design. High-power parents are selected
+ * by tournament, paired by single-point crossover, and mutated. The
+ * optimization is primed toward the power virus; because early
+ * generations span low-power individuals, the union of all generations
+ * covers a wide power range (>5x max/min — Fig. 3(b)), from which a
+ * power-uniform training subset is drawn.
+ */
+
+#ifndef APOLLO_GEN_GA_GENERATOR_HH
+#define APOLLO_GEN_GA_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "trace/toggle_trace.hh"
+#include "util/rng.hh"
+
+namespace apollo {
+
+/** GA hyper-parameters. */
+struct GaConfig
+{
+    uint32_t populationSize = 36;
+    uint32_t generations = 12;
+    uint32_t bodyMinLen = 6;
+    uint32_t bodyMaxLen = 26;
+    uint32_t elites = 4;
+    uint32_t tournamentSize = 3;
+    double crossoverRate = 0.85;
+    double mutationRate = 0.18;
+    /** Cycle budget per fitness simulation. */
+    uint64_t fitnessCycles = 600;
+    /** Signal sampling stride for fitness power estimation. */
+    uint32_t fitnessSignalStride = 1;
+    uint64_t seed = 0x6a6aULL;
+};
+
+/** One generated micro-benchmark. */
+struct GaIndividual
+{
+    std::vector<Instruction> body;
+    uint64_t dataSeed = 1;
+    double avgPower = 0.0;
+    uint32_t generation = 0;
+};
+
+/** The GA optimization loop. */
+class GaGenerator
+{
+  public:
+    /**
+     * @param builder provides the design, core params and power oracle
+     *                used for fitness evaluation (not mutated).
+     */
+    GaGenerator(const DatasetBuilder &builder,
+                const GaConfig &config = GaConfig{});
+
+    /** Run all generations. */
+    void run();
+
+    /** Every individual ever evaluated, across generations. */
+    const std::vector<GaIndividual> &all() const { return all_; }
+
+    /** The highest-power individual found (the power virus). */
+    const GaIndividual &best() const;
+
+    /** Max/min average-power ratio across all individuals. */
+    double powerRangeRatio() const;
+
+    /**
+     * Draw @p count individuals with approximately uniform coverage of
+     * the observed power range (the paper selects ~300 of >1000 this
+     * way for training).
+     */
+    std::vector<GaIndividual> selectTrainingSet(size_t count) const;
+
+    /** Materialize an individual as a runnable looped Program. */
+    static Program toProgram(const GaIndividual &ind,
+                             const std::string &name, int iterations);
+
+    /** Generate one random loop body (exposed for tests). */
+    static std::vector<Instruction> randomBody(Xoshiro256StarStar &rng,
+                                               uint32_t min_len,
+                                               uint32_t max_len);
+
+  private:
+    GaIndividual randomIndividual(Xoshiro256StarStar &rng,
+                                  uint32_t generation) const;
+    void evaluate(GaIndividual &ind) const;
+    const GaIndividual &tournament(
+        const std::vector<GaIndividual> &pop,
+        Xoshiro256StarStar &rng) const;
+    void mutate(GaIndividual &ind, Xoshiro256StarStar &rng) const;
+
+    const DatasetBuilder &builder_;
+    GaConfig config_;
+    std::vector<GaIndividual> all_;
+};
+
+} // namespace apollo
+
+#endif // APOLLO_GEN_GA_GENERATOR_HH

@@ -1,0 +1,220 @@
+#include "gen/test_suite.hh"
+
+#include "util/rng.hh"
+
+namespace apollo {
+
+using namespace asm_helpers;
+
+namespace {
+
+/** dhrystone-like mix: integer ALU, short dependent chains, some
+ *  memory, frequent (well-predicted) control flow. */
+Program
+dhrystoneLike()
+{
+    std::vector<Instruction> body = {
+        ldr(0, 30, 0),
+        addi(1, 0, 17),
+        and_(2, 1, 0),
+        eor(3, 2, 1),
+        str(3, 30, 64),
+        add(4, 3, 2),
+        lsl(5, 4, 1),
+        ldr(6, 30, 128),
+        sub(7, 6, 5),
+        orr(8, 7, 4),
+        str(8, 30, 192),
+        addi(9, 9, 1),
+    };
+    return Program::makeLoop("dhrystone", body, 4000, 0xd1);
+}
+
+/** Walk a huge footprint with a large stride: L1D misses, L2 hits. */
+Program
+dcacheMiss()
+{
+    std::vector<Instruction> body = {
+        ldr(0, 29, 0),
+        ldr(1, 29, 4096),
+        add(2, 0, 1),
+        addi(29, 29, 4096 + 64), // stride defeats L1 sets, stays in L2
+        and_(3, 2, 0),
+    };
+    return Program::makeLoop("dcache_miss", body, 4000, 0xdc);
+}
+
+/** SIMD saxpy: y[i] += a * x[i] over streaming vectors. */
+Program
+saxpySimd()
+{
+    std::vector<Instruction> body = {
+        vldr(0, 28, 0),
+        vldr(1, 29, 0),
+        vfma(1, 0, 2),
+        vstr(1, 29, 0),
+        vldr(3, 28, 32),
+        vldr(4, 29, 32),
+        vfma(4, 3, 2),
+        vstr(4, 29, 32),
+        addi(28, 28, 64),
+        addi(29, 29, 64),
+    };
+    return Program::makeLoop("saxpy_simd", body, 4000, 0x5a);
+}
+
+/** Stream through an L2-resident footprint at full bandwidth while
+ *  keeping the vector pipes busy. */
+Program
+maxpwrL2()
+{
+    std::vector<Instruction> body = {
+        vldr(0, 28, 0),
+        vldr(1, 28, 64),
+        vmul(2, 0, 1),
+        vfma(3, 2, 0),
+        ldr(4, 29, 0),
+        mul(5, 4, 4),
+        addi(28, 28, 128),
+        addi(29, 29, 4096 + 64),
+        vstr(3, 30, 0),
+    };
+    return Program::makeLoop("maxpwr_l2", body, 4000, 0xa2);
+}
+
+/** Straight-line code big enough to thrash the 32KB L1I. */
+Program
+icacheMiss()
+{
+    Xoshiro256StarStar rng(0x1cac);
+    std::vector<Instruction> instrs;
+    const int n_instrs = 10000; // 40KB of code > 32KB L1I
+    instrs.reserve(n_instrs + 3);
+    instrs.push_back(movi(31, 50));
+    for (int i = 0; i < n_instrs; ++i) {
+        const int rd = static_cast<int>(rng.nextBounded(28));
+        const int rn = static_cast<int>(rng.nextBounded(28));
+        const int rm = static_cast<int>(rng.nextBounded(28));
+        switch (rng.nextBounded(4)) {
+          case 0: instrs.push_back(add(rd, rn, rm)); break;
+          case 1: instrs.push_back(eor(rd, rn, rm)); break;
+          case 2: instrs.push_back(orr(rd, rn, rm)); break;
+          default: instrs.push_back(sub(rd, rn, rm)); break;
+        }
+    }
+    instrs.push_back(subi(31, 31, 1));
+    instrs.push_back(bnez(31, -(n_instrs + 1)));
+    Program prog("icache_miss", std::move(instrs));
+    prog.setDataSeed(0x1c);
+    return prog;
+}
+
+/** Pointer-advance with a stride that escapes L2: memory misses. */
+Program
+cacheMiss()
+{
+    std::vector<Instruction> body = {
+        ldr(0, 29, 0),
+        add(1, 1, 0),
+        addi(29, 29, 128 * 1024 + 64), // blows through L2
+        eor(2, 1, 0),
+    };
+    return Program::makeLoop("cache_miss", body, 4000, 0xcc);
+}
+
+/** Scalar daxpy: load, multiply-add, store. */
+Program
+daxpy()
+{
+    std::vector<Instruction> body = {
+        ldr(0, 28, 0),
+        mul(1, 0, 10),
+        ldr(2, 29, 0),
+        add(3, 1, 2),
+        str(3, 29, 0),
+        addi(28, 28, 8),
+        addi(29, 29, 8),
+    };
+    return Program::makeLoop("daxpy", body, 4000, 0xda);
+}
+
+/** Block copy through an L2-resident buffer. */
+Program
+memcpyL2()
+{
+    std::vector<Instruction> body = {
+        vldr(0, 28, 0),
+        vldr(1, 28, 32),
+        vstr(0, 29, 0),
+        vstr(1, 29, 32),
+        addi(28, 28, 64),
+        addi(29, 29, 64),
+    };
+    return Program::makeLoop("memcpy_l2", body, 8000, 0x3c);
+}
+
+} // namespace
+
+std::vector<Instruction>
+maxPowerBody()
+{
+    // Dense ILP across vector pipes, multiplier, ALUs, and both LSU
+    // ports — the handcrafted power virus. Eight independent FMA
+    // accumulators (v0..v7) give a reuse distance longer than the FMA
+    // latency, so both vector pipes stay saturated; scalar work fills
+    // the remaining issue slots.
+    return {
+        vfma(0, 8, 9),
+        vfma(1, 10, 11),
+        mul(0, 1, 2),
+        add(3, 4, 5),
+        vfma(2, 8, 10),
+        vfma(3, 9, 11),
+        ldr(6, 30, 0),
+        eor(7, 6, 3),
+        vfma(4, 8, 11),
+        vfma(5, 9, 10),
+        mul(8, 7, 0),
+        add(9, 8, 7),
+        vfma(6, 10, 8),
+        vfma(7, 11, 9),
+        ldr(10, 30, 64),
+        str(9, 30, 128),
+        vmul(12, 8, 9),
+        vmul(13, 10, 11),
+        add(11, 10, 6),
+        eor(12, 11, 9),
+    };
+}
+
+std::vector<TestBenchmark>
+designerTestSuite()
+{
+    auto maxpwr_cpu =
+        Program::makeLoop("maxpwr_cpu", maxPowerBody(), 4000, 0x99);
+
+    auto throttled = [&](const char *name, uint64_t seed) {
+        return Program::makeLoop(name, maxPowerBody(), 4000, seed);
+    };
+
+    // Table-4 order with Table-4 cycle budgets.
+    std::vector<TestBenchmark> suite;
+    suite.push_back({dhrystoneLike(), ThrottleMode::None, 1222});
+    suite.push_back({maxpwr_cpu, ThrottleMode::None, 600});
+    suite.push_back({dcacheMiss(), ThrottleMode::None, 654});
+    suite.push_back({saxpySimd(), ThrottleMode::None, 1986});
+    suite.push_back({maxpwrL2(), ThrottleMode::None, 1568});
+    suite.push_back({icacheMiss(), ThrottleMode::None, 800});
+    suite.push_back({cacheMiss(), ThrottleMode::None, 600});
+    suite.push_back({daxpy(), ThrottleMode::None, 1600});
+    suite.push_back({memcpyL2(), ThrottleMode::None, 3000});
+    suite.push_back(
+        {throttled("throttling_1", 0x71), ThrottleMode::Scheme1, 1100});
+    suite.push_back(
+        {throttled("throttling_2", 0x72), ThrottleMode::Scheme2, 1100});
+    suite.push_back(
+        {throttled("throttling_3", 0x73), ThrottleMode::Scheme3, 1100});
+    return suite;
+}
+
+} // namespace apollo

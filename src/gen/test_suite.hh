@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The 12 designer-handcrafted testing micro-benchmarks of Table 4.
+ * Training data is GA-generated; testing uses these fixed benchmarks
+ * covering low- and high-power regions and the three throttling schemes.
+ * Cycle counts match Table 4 (each benchmark is simulated for exactly
+ * its listed cycle budget).
+ */
+
+#ifndef APOLLO_GEN_TEST_SUITE_HH
+#define APOLLO_GEN_TEST_SUITE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+#include "uarch/throttle.hh"
+
+namespace apollo {
+
+/** One entry of the designer test suite. */
+struct TestBenchmark
+{
+    Program program;
+    ThrottleMode throttle = ThrottleMode::None;
+    /** Cycle budget, equal to the Table-4 cycle count. */
+    uint64_t cycles = 0;
+};
+
+/** The full 12-benchmark suite in Table-4 order. */
+std::vector<TestBenchmark> designerTestSuite();
+
+/** The dense compute kernel used as the handcrafted power virus. */
+std::vector<Instruction> maxPowerBody();
+
+} // namespace apollo
+
+#endif // APOLLO_GEN_TEST_SUITE_HH

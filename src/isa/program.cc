@@ -1,0 +1,44 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace apollo {
+
+std::string
+Program::toString() const
+{
+    std::ostringstream os;
+    os << name_ << ":\n";
+    for (size_t pc = 0; pc < instrs_.size(); ++pc)
+        os << "  " << pc << ": " << instrs_[pc].toString() << "\n";
+    return os.str();
+}
+
+Program
+Program::makeLoop(const std::string &name,
+                  const std::vector<Instruction> &body, int iterations,
+                  uint64_t data_seed)
+{
+    APOLLO_REQUIRE(iterations >= 1, "loop needs >= 1 iteration");
+    using namespace asm_helpers;
+
+    std::vector<Instruction> instrs;
+    instrs.reserve(body.size() + 3);
+    // x31 is the loop counter by convention; the functional executor
+    // seeds all other registers from data_seed (see FunctionalExecutor).
+    instrs.push_back(movi(31, iterations));
+    instrs.insert(instrs.end(), body.begin(), body.end());
+    instrs.push_back(subi(31, 31, 1));
+    // Branch back to the first body instruction (pc 1). The displacement
+    // is relative to the branch's own pc.
+    const auto disp = -static_cast<int32_t>(body.size() + 1);
+    instrs.push_back(bnez(31, disp));
+
+    Program prog(name, std::move(instrs));
+    prog.dataSeed_ = data_seed;
+    return prog;
+}
+
+} // namespace apollo

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Program container: a named linear sequence of instructions plus helpers
+ * to build the counted-loop micro-benchmarks used by the GA generator and
+ * the handcrafted Table-4 suite.
+ */
+
+#ifndef APOLLO_ISA_PROGRAM_HH
+#define APOLLO_ISA_PROGRAM_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace apollo {
+
+/** A named instruction sequence. PC is an index into instrs(). */
+class Program
+{
+  public:
+    Program() = default;
+    Program(std::string name, std::vector<Instruction> instrs)
+        : name_(std::move(name)), instrs_(std::move(instrs))
+    {}
+
+    const std::string &name() const { return name_; }
+    const std::vector<Instruction> &instrs() const { return instrs_; }
+    size_t size() const { return instrs_.size(); }
+    const Instruction &at(size_t pc) const { return instrs_[pc]; }
+
+    void append(const Instruction &inst) { instrs_.push_back(inst); }
+
+    void
+    append(const std::vector<Instruction> &block)
+    {
+        instrs_.insert(instrs_.end(), block.begin(), block.end());
+    }
+
+    /** Multi-line disassembly. */
+    std::string toString() const;
+
+    /**
+     * Seed used by the functional executor to initialize the register
+     * files before the first instruction, giving each micro-benchmark
+     * distinct data values (and hence data-dependent power).
+     */
+    uint64_t dataSeed() const { return dataSeed_; }
+    void setDataSeed(uint64_t seed) { dataSeed_ = seed; }
+
+    /**
+     * Build a counted loop program:
+     *   - a short prologue initializing registers with data seeds and the
+     *     loop counter (register x31) to @p iterations,
+     *   - the @p body,
+     *   - counter decrement and backward branch.
+     *
+     * Register x30 is initialized to a memory base address. The prologue
+     * initializes every scalar/vector register the body reads so the
+     * functional executor never consumes uninitialized values.
+     *
+     * @param name        program name
+     * @param body        loop body instructions
+     * @param iterations  trip count (>= 1)
+     * @param data_seed   varies the register seed values (data-dependent
+     *                    power), and the memory base
+     */
+    static Program makeLoop(const std::string &name,
+                            const std::vector<Instruction> &body,
+                            int iterations, uint64_t data_seed = 1);
+
+  private:
+    std::string name_;
+    std::vector<Instruction> instrs_;
+    uint64_t dataSeed_ = 1;
+};
+
+} // namespace apollo
+
+#endif // APOLLO_ISA_PROGRAM_HH

@@ -1,0 +1,185 @@
+#include "ml/coordinate_descent.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace apollo {
+
+size_t
+CdResult::nonzeros() const
+{
+    size_t n = 0;
+    for (float v : w)
+        if (v != 0.0f)
+            n++;
+    return n;
+}
+
+std::vector<uint32_t>
+CdResult::support() const
+{
+    std::vector<uint32_t> s;
+    for (size_t j = 0; j < w.size(); ++j)
+        if (w[j] != 0.0f)
+            s.push_back(static_cast<uint32_t>(j));
+    return s;
+}
+
+CdSolver::CdSolver(const FeatureView &X, std::span<const float> y)
+    : X_(X), y_(y)
+{
+    APOLLO_REQUIRE(X.rows() == y.size(), "rows/labels mismatch");
+    APOLLO_REQUIRE(X.rows() > 1, "need at least two samples");
+    const size_t n = X.rows();
+    const size_t m = X.cols();
+    a_.resize(m);
+    live_.reserve(m);
+    for (size_t j = 0; j < m; ++j) {
+        a_[j] = X.sumSquares(j) / static_cast<double>(n);
+        if (a_[j] > 0.0)
+            live_.push_back(static_cast<uint32_t>(j));
+    }
+    // std(y) scales the convergence tolerance.
+    double mu = 0.0;
+    for (float v : y)
+        mu += v;
+    mu /= static_cast<double>(n);
+    double var = 0.0;
+    for (float v : y)
+        var += (v - mu) * (v - mu);
+    yStd_ = std::sqrt(var / static_cast<double>(n));
+    if (yStd_ <= 0.0)
+        yStd_ = 1.0;
+}
+
+double
+CdSolver::lambdaMax() const
+{
+    const size_t n = X_.rows();
+    double mu = 0.0;
+    for (float v : y_)
+        mu += v;
+    mu /= static_cast<double>(n);
+
+    std::vector<float> centered(n);
+    for (size_t i = 0; i < n; ++i)
+        centered[i] = static_cast<float>(y_[i] - mu);
+
+    double best = 0.0;
+    for (uint32_t j : live_)
+        best = std::max(best,
+                        std::abs(X_.dot(j, centered.data())) /
+                            static_cast<double>(n));
+    return best;
+}
+
+void
+CdSolver::updateIntercept(std::vector<float> &r, double &intercept) const
+{
+    double mu = 0.0;
+    for (float v : r)
+        mu += v;
+    mu /= static_cast<double>(r.size());
+    intercept += mu;
+    const auto muf = static_cast<float>(mu);
+    for (float &v : r)
+        v -= muf;
+}
+
+double
+CdSolver::sweepOver(std::span<const uint32_t> cols, const CdConfig &cfg,
+                    std::vector<float> &w, std::vector<float> &r) const
+{
+    const auto n = static_cast<double>(X_.rows());
+    double max_delta = 0.0;
+    for (uint32_t j : cols) {
+        const double a = a_[j];
+        const double w_old = w[j];
+        const double rho = X_.dot(j, r.data()) / n + a * w_old;
+        const double w_new = coordinateUpdate(rho, a, cfg.penalty);
+        if (w_new != w_old) {
+            X_.axpy(j, static_cast<float>(w_old - w_new), r.data());
+            w[j] = static_cast<float>(w_new);
+            max_delta = std::max(max_delta,
+                                 std::abs(w_new - w_old) * std::sqrt(a));
+        }
+    }
+    return max_delta;
+}
+
+CdResult
+CdSolver::fit(const CdConfig &config, const CdResult *warm_start)
+{
+    const size_t n = X_.rows();
+    const size_t m = X_.cols();
+
+    CdResult res;
+    res.w.assign(m, 0.0f);
+    res.intercept = 0.0;
+    if (warm_start) {
+        APOLLO_REQUIRE(warm_start->w.size() == m,
+                       "warm start arity mismatch");
+        res.w = warm_start->w;
+        res.intercept = warm_start->intercept;
+    }
+
+    // Residual r = y - X w - b.
+    std::vector<float> r(y_.begin(), y_.end());
+    if (res.intercept != 0.0) {
+        const auto b = static_cast<float>(res.intercept);
+        for (float &v : r)
+            v -= b;
+    }
+    for (size_t j = 0; j < m; ++j)
+        if (res.w[j] != 0.0f)
+            X_.axpy(j, -res.w[j], r.data());
+
+    const double tol_abs = config.tol * yStd_;
+    uint32_t sweeps = 0;
+    bool converged = false;
+
+    // Working set: nonzero coordinates (plus whatever full sweeps add).
+    std::vector<uint32_t> active;
+    auto rebuild_active = [&] {
+        active.clear();
+        for (uint32_t j : live_)
+            if (res.w[j] != 0.0f)
+                active.push_back(j);
+    };
+    rebuild_active();
+
+    while (sweeps < config.maxSweeps) {
+        // Full sweep: KKT check + working-set expansion in one pass.
+        if (config.fitIntercept)
+            updateIntercept(r, res.intercept);
+        const double full_delta = sweepOver(live_, config, res.w, r);
+        sweeps++;
+        rebuild_active();
+        if (full_delta <= tol_abs) {
+            converged = true;
+            break;
+        }
+
+        // Inner iterations on the active set only.
+        while (sweeps < config.maxSweeps) {
+            if (config.fitIntercept)
+                updateIntercept(r, res.intercept);
+            const double delta = sweepOver(active, config, res.w, r);
+            sweeps++;
+            if (delta <= tol_abs)
+                break;
+        }
+    }
+
+    res.sweeps = sweeps;
+    res.converged = converged;
+    double sse = 0.0;
+    for (float v : r)
+        sse += static_cast<double>(v) * v;
+    res.trainMse = sse / static_cast<double>(n);
+    return res;
+}
+
+} // namespace apollo

@@ -1,0 +1,196 @@
+#include "ml/kmeans.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/thread_pool.hh"
+
+namespace apollo {
+
+namespace {
+
+double
+sqDist(const float *a, const float *b, size_t d)
+{
+    double acc = 0.0;
+    for (size_t i = 0; i < d; ++i) {
+        const double diff = static_cast<double>(a[i]) - b[i];
+        acc += diff * diff;
+    }
+    return acc;
+}
+
+} // namespace
+
+KmeansResult
+kmeansSignals(const BitColumnMatrix &X, const KmeansConfig &config)
+{
+    const size_t m = X.cols();
+    const size_t n = X.rows();
+    const size_t d = config.sketchDims;
+    const size_t k = std::min<size_t>(config.k, m);
+    APOLLO_REQUIRE(k >= 1, "k must be positive");
+
+    // Random projection matrix R (n x d), Rademacher +-1 entries scaled.
+    Xoshiro256StarStar rng(config.seed);
+    std::vector<float> proj_rows(n * d);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+    for (float &v : proj_rows)
+        v = (rng.nextDouble() < 0.5 ? -scale : scale);
+
+    // Sketch each column: s_j = sum over set rows of R[row], then
+    // normalize to unit length (cluster by shape, not rate).
+    std::vector<float> sketch(m * d, 0.0f);
+    std::vector<uint8_t> empty_col(m, 0);
+    parallelFor(m, [&](size_t c0, size_t c1) {
+        for (size_t c = c0; c < c1; ++c) {
+            float *s = &sketch[c * d];
+            X.forEachSetBit(c, [&](size_t row) {
+                const float *r = &proj_rows[row * d];
+                for (size_t t = 0; t < d; ++t)
+                    s[t] += r[t];
+            });
+            double norm = 0.0;
+            for (size_t t = 0; t < d; ++t)
+                norm += static_cast<double>(s[t]) * s[t];
+            if (norm <= 0.0) {
+                empty_col[c] = 1;
+                continue;
+            }
+            const auto inv =
+                static_cast<float>(1.0 / std::sqrt(norm));
+            for (size_t t = 0; t < d; ++t)
+                s[t] *= inv;
+        }
+    });
+
+    // k-means++ seeding over non-empty columns.
+    std::vector<uint32_t> candidates;
+    candidates.reserve(m);
+    for (size_t c = 0; c < m; ++c)
+        if (!empty_col[c])
+            candidates.push_back(static_cast<uint32_t>(c));
+    APOLLO_REQUIRE(candidates.size() >= k,
+                   "fewer non-empty columns than clusters");
+
+    std::vector<float> centroids(k * d);
+    std::vector<double> min_dist(m,
+                                 std::numeric_limits<double>::infinity());
+    {
+        const uint32_t first =
+            candidates[rng.nextBounded(candidates.size())];
+        std::copy_n(&sketch[first * d], d, centroids.begin());
+        for (size_t cl = 1; cl < k; ++cl) {
+            double total = 0.0;
+            for (uint32_t c : candidates) {
+                const double dist =
+                    sqDist(&sketch[c * d],
+                           &centroids[(cl - 1) * d], d);
+                min_dist[c] = std::min(min_dist[c], dist);
+                total += min_dist[c];
+            }
+            double draw = rng.nextDouble() * total;
+            uint32_t chosen = candidates.back();
+            for (uint32_t c : candidates) {
+                draw -= min_dist[c];
+                if (draw <= 0.0) {
+                    chosen = c;
+                    break;
+                }
+            }
+            std::copy_n(&sketch[chosen * d], d,
+                        centroids.begin() + static_cast<long>(cl * d));
+        }
+    }
+
+    // Lloyd iterations.
+    KmeansResult res;
+    res.assignment.assign(m, static_cast<uint32_t>(k));
+    std::vector<double> dist_to_centroid(m, 0.0);
+
+    for (uint32_t iter = 0; iter < config.iterations; ++iter) {
+        // Assign.
+        parallelFor(m, [&](size_t c0, size_t c1) {
+            for (size_t c = c0; c < c1; ++c) {
+                if (empty_col[c])
+                    continue;
+                double best = std::numeric_limits<double>::infinity();
+                uint32_t best_cl = 0;
+                for (size_t cl = 0; cl < k; ++cl) {
+                    const double dist =
+                        sqDist(&sketch[c * d], &centroids[cl * d], d);
+                    if (dist < best) {
+                        best = dist;
+                        best_cl = static_cast<uint32_t>(cl);
+                    }
+                }
+                res.assignment[c] = best_cl;
+                dist_to_centroid[c] = best;
+            }
+        });
+
+        // Update.
+        std::vector<double> sums(k * d, 0.0);
+        std::vector<size_t> counts(k, 0);
+        for (size_t c = 0; c < m; ++c) {
+            if (empty_col[c])
+                continue;
+            const uint32_t cl = res.assignment[c];
+            counts[cl]++;
+            for (size_t t = 0; t < d; ++t)
+                sums[cl * d + t] += sketch[c * d + t];
+        }
+        for (size_t cl = 0; cl < k; ++cl) {
+            if (counts[cl] == 0) {
+                // Reseed an empty cluster at the farthest point.
+                uint32_t farthest = candidates[0];
+                for (uint32_t c : candidates)
+                    if (dist_to_centroid[c] >
+                        dist_to_centroid[farthest])
+                        farthest = c;
+                std::copy_n(&sketch[farthest * d], d,
+                            centroids.begin() +
+                                static_cast<long>(cl * d));
+                dist_to_centroid[farthest] = 0.0;
+                continue;
+            }
+            for (size_t t = 0; t < d; ++t)
+                centroids[cl * d + t] = static_cast<float>(
+                    sums[cl * d + t] / static_cast<double>(counts[cl]));
+        }
+    }
+
+    // Representatives: the column closest to each centroid.
+    res.representatives.assign(k, 0);
+    std::vector<double> best(k, std::numeric_limits<double>::infinity());
+    res.inertia = 0.0;
+    size_t assigned = 0;
+    for (size_t c = 0; c < m; ++c) {
+        if (empty_col[c])
+            continue;
+        const uint32_t cl = res.assignment[c];
+        const double dist = sqDist(&sketch[c * d], &centroids[cl * d], d);
+        res.inertia += dist;
+        assigned++;
+        if (dist < best[cl]) {
+            best[cl] = dist;
+            res.representatives[cl] = static_cast<uint32_t>(c);
+        }
+    }
+    if (assigned)
+        res.inertia /= static_cast<double>(assigned);
+
+    // Clusters that stayed empty through the last assignment round get
+    // distinct fallback representatives.
+    for (size_t cl = 0; cl < k; ++cl) {
+        if (best[cl] == std::numeric_limits<double>::infinity())
+            res.representatives[cl] =
+                candidates[cl % candidates.size()];
+    }
+    return res;
+}
+
+} // namespace apollo

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Signal clustering for the Simmani baseline [40]: K-means over toggle
+ * time-series. Columns are first sketched into a low-dimensional space
+ * by random projection (toggle vectors are N-cycle long; the sketch
+ * preserves pairwise distances well enough for clustering), normalized
+ * to unit length so clusters capture toggle *shape* rather than rate,
+ * then Lloyd-iterated with k-means++ seeding. One representative signal
+ * (closest to the centroid) is selected per cluster — Simmani's
+ * unsupervised proxy selection.
+ */
+
+#ifndef APOLLO_ML_KMEANS_HH
+#define APOLLO_ML_KMEANS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvec.hh"
+
+namespace apollo {
+
+/** K-means configuration. */
+struct KmeansConfig
+{
+    uint32_t k = 64;
+    uint32_t sketchDims = 32;
+    uint32_t iterations = 12;
+    uint64_t seed = 0x4b4bULL;
+};
+
+/** Clustering output. */
+struct KmeansResult
+{
+    /** Cluster id per column (k = sentinel for empty columns). */
+    std::vector<uint32_t> assignment;
+    /** One representative column id per cluster. */
+    std::vector<uint32_t> representatives;
+    /** Mean within-cluster distance (diagnostic). */
+    double inertia = 0.0;
+};
+
+/** Cluster the columns of @p X into k groups. */
+KmeansResult kmeansSignals(const BitColumnMatrix &X,
+                           const KmeansConfig &config);
+
+} // namespace apollo
+
+#endif // APOLLO_ML_KMEANS_HH

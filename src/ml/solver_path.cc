@@ -1,0 +1,240 @@
+#include "ml/solver_path.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace apollo {
+
+std::vector<PathPoint>
+runLambdaPath(CdSolver &solver, CdConfig base,
+              const PathConfig &path_config)
+{
+    APOLLO_REQUIRE(base.penalty.kind == PenaltyKind::Lasso ||
+                       base.penalty.kind == PenaltyKind::Mcp,
+                   "lambda paths apply to L1-family penalties");
+    const double lambda_max = solver.lambdaMax();
+    APOLLO_REQUIRE(lambda_max > 0.0, "labels are constant");
+
+    std::vector<PathPoint> path;
+    CdResult warm;
+    double lambda = lambda_max * path_config.lambdaFactor;
+    for (uint32_t k = 0; k < path_config.maxPoints; ++k) {
+        base.penalty.lambda = lambda;
+        PathPoint point;
+        point.lambda = lambda;
+        point.result =
+            solver.fit(base, path.empty() ? nullptr : &warm);
+        point.nonzeros = point.result.nonzeros();
+        warm = point.result;
+        path.push_back(std::move(point));
+
+        if (path_config.stopAtNonzeros &&
+            path.back().nonzeros >= path_config.stopAtNonzeros)
+            break;
+        lambda *= path_config.lambdaFactor;
+        if (lambda < lambda_max * path_config.minLambdaRatio)
+            break;
+    }
+    return path;
+}
+
+namespace {
+
+/** Trim a solution's support to the target_q largest scaled weights. */
+void
+trimSupport(CdResult &result, size_t target_q,
+            const std::vector<double> &col_norms)
+{
+    std::vector<std::pair<double, uint32_t>> ranked;
+    for (size_t j = 0; j < result.w.size(); ++j) {
+        if (result.w[j] != 0.0f)
+            ranked.emplace_back(std::abs(result.w[j]) *
+                                    std::sqrt(col_norms[j]),
+                                static_cast<uint32_t>(j));
+    }
+    if (ranked.size() <= target_q)
+        return;
+    std::nth_element(
+        ranked.begin(), ranked.begin() + static_cast<long>(target_q),
+        ranked.end(),
+        [](const auto &a, const auto &b) { return a.first > b.first; });
+    for (size_t k = target_q; k < ranked.size(); ++k)
+        result.w[ranked[k].second] = 0.0f;
+}
+
+} // namespace
+
+CdResult
+solveForTargetQ(CdSolver &solver, CdConfig base, size_t target_q,
+                TargetQDiagnostics *diag)
+{
+    APOLLO_REQUIRE(target_q >= 1, "target Q must be positive");
+
+    PathConfig path_config;
+    path_config.stopAtNonzeros = target_q;
+    std::vector<PathPoint> path = runLambdaPath(solver, base, path_config);
+    APOLLO_REQUIRE(!path.empty(), "empty path");
+
+    if (diag)
+        diag->pathPoints = path.size();
+
+    const PathPoint &last = path.back();
+    if (last.nonzeros == target_q) {
+        if (diag) {
+            diag->lambda = last.lambda;
+            diag->trimmed = false;
+        }
+        return last.result;
+    }
+    if (last.nonzeros < target_q) {
+        // Path exhausted before reaching target (tiny designs): trim is
+        // a no-op; return the densest solution available.
+        CdResult res = last.result;
+        if (diag) {
+            diag->lambda = last.lambda;
+            diag->trimmed = false;
+        }
+        return res;
+    }
+
+    // Bracket: previous point (nnz < Q) and last point (nnz > Q).
+    double lambda_hi =
+        path.size() >= 2 ? path[path.size() - 2].lambda
+                         : last.lambda / path_config.lambdaFactor;
+    double lambda_lo = last.lambda;
+    CdResult best = last.result;
+    double best_lambda = last.lambda;
+    size_t best_nnz = last.nonzeros;
+    CdResult warm = last.result;
+
+    size_t bisections = 0;
+    for (; bisections < 12; ++bisections) {
+        const double lambda_mid =
+            std::sqrt(lambda_lo * lambda_hi); // geometric midpoint
+        base.penalty.lambda = lambda_mid;
+        CdResult mid = solver.fit(base, &warm);
+        const size_t nnz = mid.nonzeros();
+        warm = mid;
+        if (nnz == target_q) {
+            if (diag) {
+                diag->lambda = lambda_mid;
+                diag->bisections = bisections + 1;
+                diag->trimmed = false;
+            }
+            return mid;
+        }
+        if (nnz > target_q) {
+            // Track the tightest superset solution for trimming.
+            if (nnz < best_nnz) {
+                best = mid;
+                best_nnz = nnz;
+                best_lambda = lambda_mid;
+            }
+            lambda_lo = lambda_mid;
+        } else {
+            lambda_hi = lambda_mid;
+        }
+    }
+
+    trimSupport(best, target_q, solver.columnNorms());
+    if (diag) {
+        diag->lambda = best_lambda;
+        diag->bisections = bisections;
+        diag->trimmed = true;
+    }
+    return best;
+}
+
+std::vector<CdResult>
+solveForTargetsQ(CdSolver &solver, CdConfig base,
+                 std::vector<size_t> targets)
+{
+    APOLLO_REQUIRE(!targets.empty(), "no targets");
+    std::vector<size_t> order(targets.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return targets[a] < targets[b];
+    });
+
+    const double lambda_max = solver.lambdaMax();
+    APOLLO_REQUIRE(lambda_max > 0.0, "labels are constant");
+    constexpr double factor = 0.82;
+    constexpr double min_ratio = 1e-4;
+
+    std::vector<CdResult> results(targets.size());
+    size_t next = 0; // index into `order`
+
+    double lambda = lambda_max * factor;
+    double prev_lambda = lambda_max;
+    CdResult warm;
+    bool have_warm = false;
+
+    auto solve_at = [&](double lam) {
+        base.penalty.lambda = lam;
+        CdResult res = solver.fit(base, have_warm ? &warm : nullptr);
+        warm = res;
+        have_warm = true;
+        return res;
+    };
+
+    while (next < order.size() && lambda > lambda_max * min_ratio) {
+        CdResult point = solve_at(lambda);
+        size_t nnz = point.nonzeros();
+
+        // Resolve every target bracketed by (prev_lambda, lambda].
+        while (next < order.size() && nnz >= targets[order[next]]) {
+            const size_t target = targets[order[next]];
+            if (nnz == target) {
+                results[order[next]] = point;
+                next++;
+                continue;
+            }
+            // Bisect within (lambda, prev_lambda) for this target.
+            double lo = lambda;
+            double hi = prev_lambda;
+            CdResult best = point;
+            size_t best_nnz = nnz;
+            bool exact = false;
+            for (int iter = 0; iter < 12; ++iter) {
+                const double mid = std::sqrt(lo * hi);
+                CdResult mid_res = solve_at(mid);
+                const size_t mid_nnz = mid_res.nonzeros();
+                if (mid_nnz == target) {
+                    results[order[next]] = mid_res;
+                    exact = true;
+                    break;
+                }
+                if (mid_nnz > target) {
+                    if (mid_nnz < best_nnz) {
+                        best = mid_res;
+                        best_nnz = mid_nnz;
+                    }
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            if (!exact) {
+                trimSupport(best, target, solver.columnNorms());
+                results[order[next]] = best;
+            }
+            next++;
+            // Re-anchor the warm start on the dense path point so the
+            // continuation stays monotone.
+            warm = point;
+        }
+
+        prev_lambda = lambda;
+        lambda *= factor;
+    }
+
+    // Targets the path never reached: return the densest solution.
+    for (; next < order.size(); ++next)
+        results[order[next]] = warm;
+    return results;
+}
+
+} // namespace apollo

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Lambda-path driver: warm-started geometric lambda descent for the
+ * L1-family penalties (Lasso, MCP), plus a target-Q search — APOLLO
+ * adjusts the penalty strength lambda to control the number of selected
+ * proxies Q (§4.3).
+ */
+
+#ifndef APOLLO_ML_SOLVER_PATH_HH
+#define APOLLO_ML_SOLVER_PATH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/coordinate_descent.hh"
+
+namespace apollo {
+
+/** One solved point on a lambda path. */
+struct PathPoint
+{
+    double lambda = 0.0;
+    size_t nonzeros = 0;
+    CdResult result;
+};
+
+/** Path configuration. */
+struct PathConfig
+{
+    /** Geometric decay factor between consecutive lambdas. */
+    double lambdaFactor = 0.82;
+    /** Stop when lambda < lambdaMax * minLambdaRatio. */
+    double minLambdaRatio = 1e-4;
+    /** Stop as soon as nonzeros >= this (0 = never). */
+    size_t stopAtNonzeros = 0;
+    uint32_t maxPoints = 100;
+};
+
+/**
+ * Run a warm-started lambda path from lambdaMax downward.
+ * @p base supplies the penalty family (lambda overwritten per point).
+ */
+std::vector<PathPoint> runLambdaPath(CdSolver &solver, CdConfig base,
+                                     const PathConfig &path_config);
+
+/** Diagnostics from a target-Q search. */
+struct TargetQDiagnostics
+{
+    double lambda = 0.0;
+    size_t pathPoints = 0;
+    size_t bisections = 0;
+    bool trimmed = false; ///< support trimmed to hit Q exactly
+};
+
+/**
+ * Find a solution with exactly @p target_q nonzero weights by walking
+ * the lambda path until nonzeros >= target_q and bisecting the last
+ * bracket. If no lambda yields exactly target_q (support jumps), the
+ * smallest support >= target_q is trimmed to the target_q largest
+ * |w_j|*sqrt(a_j) weights (the downstream relaxation refits anyway).
+ */
+CdResult solveForTargetQ(CdSolver &solver, CdConfig base, size_t target_q,
+                         TargetQDiagnostics *diag = nullptr);
+
+/**
+ * Solve for several target supports with ONE warm-started path walk
+ * (the Fig. 10/12 sweeps need solutions at many Q): targets are hit in
+ * ascending order as the path densifies, bisecting each bracket.
+ * Returns one CdResult per target, in the order given.
+ */
+std::vector<CdResult> solveForTargetsQ(CdSolver &solver, CdConfig base,
+                                       std::vector<size_t> targets);
+
+} // namespace apollo
+
+#endif // APOLLO_ML_SOLVER_PATH_HH

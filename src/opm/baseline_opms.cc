@@ -1,0 +1,68 @@
+#include "opm/baseline_opms.hh"
+
+namespace apollo {
+
+namespace {
+
+uint32_t
+ceilLog2(uint64_t v)
+{
+    uint32_t bits = 0;
+    while ((1ULL << bits) < v)
+        bits++;
+    return bits;
+}
+
+constexpr double ffGE = 6.0;
+constexpr double faGE = 5.0;
+
+/** A toggle counter wide enough for a T-cycle window. */
+double
+counterGE(uint32_t T)
+{
+    const uint32_t width = ceilLog2(T) + 1;
+    return width * (ffGE + 0.5 * faGE);
+}
+
+/** A BxB array multiplier. */
+double
+multiplierGE(uint32_t bits)
+{
+    return static_cast<double>(bits) * bits * faGE;
+}
+
+} // namespace
+
+std::vector<OpmCostRow>
+opmCostComparison(size_t m, size_t q, uint32_t bits, uint32_t T)
+{
+    std::vector<OpmCostRow> rows;
+    const double ctr = counterGE(T);
+    const double mul = multiplierGE(bits);
+
+    // [75] Yang et al.: SVD-based instrumentation, multiplier work
+    // proportional to the full signal count.
+    rows.push_back({"Yang [75]", "0", "~M", 0, m,
+                    static_cast<double>(m) * mul});
+    // Simmani [40]: Q counters; ~Q^2 polynomial terms each needing a
+    // multiply.
+    rows.push_back({"Simmani [40]", "Q", "~Q^2",
+                    static_cast<uint64_t>(q),
+                    static_cast<uint64_t>(q) * q,
+                    q * ctr + static_cast<double>(q) * q * mul});
+    // Counter-per-proxy monitors [23, 51, 80, 81]: Q counters, Q
+    // multipliers.
+    rows.push_back({"Counter OPMs [23,51,80,81]", "Q", "Q",
+                    static_cast<uint64_t>(q),
+                    static_cast<uint64_t>(q), q * (ctr + mul)});
+    // Pagliari [53]: Q counters, one time-shared multiplier.
+    rows.push_back({"Pagliari [53]", "Q", "1",
+                    static_cast<uint64_t>(q), 1, q * ctr + mul});
+    // APOLLO: a single T-cycle accumulator, zero multipliers (per-cycle
+    // and multi-cycle models share the structure, Eq. 9).
+    rows.push_back({"APOLLO (per-cycle)", "1", "0", 1, 0, ctr});
+    rows.push_back({"APOLLO (multi-cycle)", "1", "0", 1, 0, ctr});
+    return rows;
+}
+
+} // namespace apollo

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Hardware-cost accounting for prior OPM architectures (Table 3): most
+ * prior runtime monitors need a counter and a multiplier per proxy
+ * (their models consume multi-cycle toggle *counts*), while APOLLO's
+ * per-cycle binary inputs need only AND gates, one shared accumulator,
+ * and zero multipliers.
+ */
+
+#ifndef APOLLO_OPM_BASELINE_OPMS_HH
+#define APOLLO_OPM_BASELINE_OPMS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apollo {
+
+/** One row of the Table-3 comparison. */
+struct OpmCostRow
+{
+    std::string method;
+    std::string counters;    ///< symbolic count, e.g. "Q"
+    std::string multipliers; ///< symbolic count, e.g. "Q^2"
+    uint64_t counterUnits = 0;
+    uint64_t multiplierUnits = 0;
+    /** Estimated arithmetic area in NAND2 equivalents. */
+    double arithmeticGE = 0.0;
+};
+
+/**
+ * Build the Table-3 comparison for a design with @p m signals, @p q
+ * selected proxies, @p bits-bit weights, and window @p T.
+ */
+std::vector<OpmCostRow> opmCostComparison(size_t m, size_t q,
+                                          uint32_t bits, uint32_t T);
+
+} // namespace apollo
+
+#endif // APOLLO_OPM_BASELINE_OPMS_HH

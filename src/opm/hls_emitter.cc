@@ -1,0 +1,82 @@
+#include "opm/hls_emitter.hh"
+
+#include <bit>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace apollo {
+
+namespace {
+
+uint32_t
+ceilLog2(uint64_t v)
+{
+    uint32_t bits = 0;
+    while ((1ULL << bits) < v)
+        bits++;
+    return bits;
+}
+
+} // namespace
+
+std::string
+emitOpmHlsSource(const QuantizedModel &model, uint32_t T,
+                 const std::string &unit_name)
+{
+    APOLLO_REQUIRE(std::has_single_bit(T), "T must be a power of two");
+    const size_t q = model.proxyCount();
+    const uint32_t b = model.bits;
+    const uint32_t sum_bits = b + ceilLog2(q) + 1;
+    const uint32_t acc_bits = sum_bits + ceilLog2(T);
+
+    std::ostringstream os;
+    os << "// Auto-generated APOLLO on-chip power meter.\n";
+    os << "// Q=" << q << " proxies, B=" << b << "-bit weights, T=" << T
+       << "-cycle window.\n";
+    os << "// Cycle-sum width " << sum_bits << " bits; accumulator width "
+       << acc_bits << " bits; latency 2 cycles.\n";
+    os << "#include <cstdint>\n\n";
+    os << "struct " << unit_name << "\n{\n";
+    os << "    static constexpr unsigned kQ = " << q << ";\n";
+    os << "    static constexpr unsigned kB = " << b << ";\n";
+    os << "    static constexpr unsigned kT = " << T << ";\n";
+    os << "    static constexpr unsigned kShift = " << ceilLog2(T)
+       << ";\n\n";
+    os << "    // B-bit weight ROM (one entry per proxy).\n";
+    os << "    static constexpr int32_t kWeights[kQ] = {";
+    for (size_t i = 0; i < q; ++i) {
+        if (i % 8 == 0)
+            os << "\n        ";
+        os << model.qweights[i] << (i + 1 < q ? ", " : "");
+    }
+    os << "\n    };\n";
+    os << "    static constexpr int64_t kIntercept = "
+       << model.qintercept << ";\n\n";
+    os << "    int64_t accumulator = 0;\n";
+    os << "    unsigned phase = 0;\n";
+    os << "    int64_t out = 0;\n";
+    os << "    bool out_valid = false;\n\n";
+    os << "    // One clock: toggles[q] is the registered XOR toggle bit\n";
+    os << "    // of proxy q. AND-gated adds only -- no multipliers.\n";
+    os << "    void\n";
+    os << "    step(const bool toggles[kQ])\n";
+    os << "    {\n";
+    os << "        int64_t cycle_sum = kIntercept;\n";
+    os << "        for (unsigned q = 0; q < kQ; ++q)\n";
+    os << "            cycle_sum += toggles[q] ? kWeights[q] : 0;\n";
+    os << "        accumulator += cycle_sum;\n";
+    os << "        phase++;\n";
+    os << "        out_valid = false;\n";
+    os << "        if (phase == kT) {\n";
+    os << "            out = accumulator >> kShift;\n";
+    os << "            out_valid = true;\n";
+    os << "            accumulator = 0;\n";
+    os << "            phase = 0;\n";
+    os << "        }\n";
+    os << "    }\n";
+    os << "};\n";
+    return os.str();
+}
+
+} // namespace apollo

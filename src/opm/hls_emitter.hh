@@ -1,0 +1,25 @@
+/**
+ * @file
+ * HLS template emitter: generates the C++ source of a configured OPM
+ * (the paper implements the OPM with generic C++ templates through
+ * Catapult HLS, configurable in B, Q and T). The emitted unit is a
+ * synthesizable-style step() kernel with the weight ROM baked in; it
+ * mirrors OpmSimulator bit-for-bit.
+ */
+
+#ifndef APOLLO_OPM_HLS_EMITTER_HH
+#define APOLLO_OPM_HLS_EMITTER_HH
+
+#include <string>
+
+#include "opm/quantize.hh"
+
+namespace apollo {
+
+/** Generate the OPM C++ source for @p model with window size @p T. */
+std::string emitOpmHlsSource(const QuantizedModel &model, uint32_t T,
+                             const std::string &unit_name = "apollo_opm");
+
+} // namespace apollo
+
+#endif // APOLLO_OPM_HLS_EMITTER_HH

@@ -1,0 +1,96 @@
+#include "opm/opm_hardware.hh"
+
+#include <set>
+
+#include "util/logging.hh"
+
+namespace apollo {
+
+namespace {
+
+uint32_t
+ceilLog2(uint64_t v)
+{
+    uint32_t bits = 0;
+    while ((1ULL << bits) < v)
+        bits++;
+    return bits;
+}
+
+} // namespace
+
+OpmHardwareReport
+analyzeOpmHardware(const Netlist &netlist, const QuantizedModel &model,
+                   uint32_t T, double avg_proxy_toggle_rate,
+                   const GateCosts &costs)
+{
+    const size_t q = model.proxyCount();
+    APOLLO_REQUIRE(q >= 1, "empty model");
+    const uint32_t b = model.bits;
+    OpmHardwareReport rep;
+
+    // ---- Interface (Fig. 8 "interface") ----
+    std::set<int32_t> buses_seen;
+    for (uint32_t sig_id : model.proxyIds) {
+        const Signal &sig = netlist.signal(sig_id);
+        switch (sig.kind) {
+          case SignalKind::GatedClock:
+            // Trace the enable instead: one latch FF + pipeline FF.
+            rep.interfaceGE += 2 * costs.ff;
+            break;
+          case SignalKind::BusBit:
+            // capture FF + XOR per bit; bits of an already-monitored
+            // bus also feed its OR tree.
+            rep.interfaceGE += 2 * costs.ff + costs.xor2;
+            if (!buses_seen.insert(sig.busId).second)
+                rep.interfaceGE += costs.or2;
+            break;
+          default:
+            // capture FF + XOR toggle detector + pipeline FF.
+            rep.interfaceGE += 2 * costs.ff + costs.xor2;
+            break;
+        }
+    }
+
+    // ---- Power computation ----
+    rep.computeGE += static_cast<double>(q) * b * costs.and2;
+    // Balanced adder tree: level l has ceil(q / 2^l) adders of width
+    // (b + l) bits.
+    const uint32_t levels = ceilLog2(q);
+    size_t nodes = q;
+    for (uint32_t l = 1; l <= levels; ++l) {
+        nodes = (nodes + 1) / 2;
+        rep.computeGE += static_cast<double>(nodes) * (b + l) *
+                         costs.fullAdder;
+    }
+
+    // ---- T-cycle average ----
+    const uint32_t accum_bits = b + ceilLog2(q) + ceilLog2(T) + 1;
+    rep.accumGE = accum_bits * (costs.ff + costs.fullAdder) +
+                  ceilLog2(std::max<uint32_t>(T, 2)) *
+                      (costs.ff + 0.5 * costs.fullAdder);
+
+    // ---- Routing ----
+    rep.routingGE = static_cast<double>(q) *
+                    costs.routeBuffersPerProxy * costs.buffer;
+
+    rep.totalGE = rep.interfaceGE + rep.computeGE + rep.accumGE +
+                  rep.routingGE;
+    rep.areaOverhead = rep.totalGE / netlist.nominalCoreGates();
+
+    // ---- Power ----
+    const double core_power = netlist.nominalCorePower();
+    const double logic_power =
+        (rep.interfaceGE + rep.computeGE + rep.accumGE) *
+        costs.opmActivity;
+    const double routing_power = rep.routingGE *
+                                 avg_proxy_toggle_rate *
+                                 costs.routeCapFactor;
+    rep.logicPowerOverhead = logic_power / core_power;
+    rep.routingPowerOverhead = routing_power / core_power;
+    rep.totalPowerOverhead =
+        rep.logicPowerOverhead + rep.routingPowerOverhead;
+    return rep;
+}
+
+} // namespace apollo

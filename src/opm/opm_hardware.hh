@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Structural gate-level cost model for the APOLLO OPM (§6, §7.5),
+ * standing in for Catapult HLS + Design Compiler synthesis.
+ *
+ * Area is accounted in NAND2 gate equivalents (GE) per component of
+ * Fig. 8:
+ *  - interface: per-proxy capture FF + XOR toggle detector + pipeline
+ *    FF (gated-clock proxies need only an enable latch; extra bits of
+ *    an already-monitored bus add an OR2 each),
+ *  - power computation: B AND2 per proxy plus a balanced adder tree
+ *    whose level-l adders are (B + l) bits wide,
+ *  - T-cycle average: a (B + ceil(log Q) + ceil(log T))-bit accumulator
+ *    register + adder and a log2(T)-bit wrap counter,
+ *  - routing: repeater buffers for hauling Q proxies to the centralized
+ *    OPM placement.
+ *
+ * Overhead percentages are taken against the netlist's nominal
+ * full-design gate count / power (see DESIGN.md §2 scaling policy).
+ */
+
+#ifndef APOLLO_OPM_OPM_HARDWARE_HH
+#define APOLLO_OPM_OPM_HARDWARE_HH
+
+#include <cstdint>
+
+#include "opm/quantize.hh"
+#include "rtl/netlist.hh"
+
+namespace apollo {
+
+/** Cell costs in NAND2 equivalents (7nm-flavoured defaults). */
+struct GateCosts
+{
+    double ff = 6.0;
+    double xor2 = 2.5;
+    double and2 = 1.5;
+    double or2 = 1.5;
+    double fullAdder = 5.0;
+    double buffer = 1.2;
+    /** Average repeaters per proxy route to the centralized OPM. */
+    double routeBuffersPerProxy = 6.0;
+    /** OPM logic switching-activity factor (per-GE power weight). */
+    double opmActivity = 0.20;
+    /** Route power weight: wire+buffer cap per toggle, per buffer GE. */
+    double routeCapFactor = 9.0;
+};
+
+/** Area/power report for one OPM configuration. */
+struct OpmHardwareReport
+{
+    double interfaceGE = 0.0;
+    double computeGE = 0.0;
+    double accumGE = 0.0;
+    double routingGE = 0.0;
+    double totalGE = 0.0;
+
+    /** totalGE / nominal core gates. */
+    double areaOverhead = 0.0;
+    /** OPM logic power / nominal core power. */
+    double logicPowerOverhead = 0.0;
+    /** Proxy routing power / nominal core power. */
+    double routingPowerOverhead = 0.0;
+    double totalPowerOverhead = 0.0;
+
+    uint32_t latencyCycles = 2;
+    /** Table-3 accounting. */
+    uint32_t counters = 1;
+    uint32_t multipliers = 0;
+};
+
+/**
+ * Analyze one OPM configuration.
+ * @param avg_proxy_toggle_rate measured mean toggle rate of the chosen
+ *        proxies (drives routing power).
+ */
+OpmHardwareReport analyzeOpmHardware(const Netlist &netlist,
+                                     const QuantizedModel &model,
+                                     uint32_t T,
+                                     double avg_proxy_toggle_rate,
+                                     const GateCosts &costs = GateCosts{});
+
+} // namespace apollo
+
+#endif // APOLLO_OPM_OPM_HARDWARE_HH

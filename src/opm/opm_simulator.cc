@@ -1,0 +1,112 @@
+#include "opm/opm_simulator.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace apollo {
+
+namespace {
+
+uint32_t
+ceilLog2(uint64_t v)
+{
+    uint32_t bits = 0;
+    while ((1ULL << bits) < v)
+        bits++;
+    return bits;
+}
+
+} // namespace
+
+OpmSimulator::OpmSimulator(const QuantizedModel &model, uint32_t T)
+    : model_(model), T_(T)
+{
+    APOLLO_REQUIRE(T >= 1 && std::has_single_bit(T),
+                   "T must be a power of two");
+    APOLLO_REQUIRE(!model.proxyIds.empty(), "empty model");
+    shift_ = ceilLog2(T);
+    // Full-precision widths per §6: B + ceil(log Q) (+1 sign margin for
+    // the quantized intercept), then + ceil(log T) for the accumulator.
+    cycleSumBits_ =
+        model.bits + ceilLog2(model.proxyCount()) + 1;
+    accumBits_ = cycleSumBits_ + shift_;
+}
+
+void
+OpmSimulator::reset()
+{
+    accumulator_ = 0;
+    phase_ = 0;
+}
+
+OpmSimulator::Output
+OpmSimulator::step(const uint64_t *proxy_bits)
+{
+    // "Power computation": AND-gated weight accumulation — no
+    // multipliers, the weight either enters the adder tree or not.
+    int64_t cycle_sum = model_.qintercept;
+    const size_t q_count = model_.proxyCount();
+    for (size_t w = 0; w * 64 < q_count; ++w) {
+        uint64_t bits = proxy_bits[w];
+        while (bits) {
+            const size_t q =
+                w * 64 + static_cast<size_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            if (q >= q_count)
+                break;
+            cycle_sum += model_.qweights[q];
+        }
+    }
+    // The declared cycle-sum width must never overflow.
+    const int64_t cycle_limit = 1LL << cycleSumBits_;
+    APOLLO_ASSERT(cycle_sum > -cycle_limit && cycle_sum < cycle_limit,
+                  "cycle sum overflows declared width");
+
+    // "T-cycle average": accumulate, emit every T cycles with the
+    // divide realized by dropping the low log2(T) bits.
+    accumulator_ += cycle_sum;
+    const int64_t accum_limit = 1LL << accumBits_;
+    APOLLO_ASSERT(accumulator_ > -accum_limit &&
+                      accumulator_ < accum_limit,
+                  "accumulator overflows declared width");
+    phase_++;
+
+    Output out;
+    if (phase_ == T_) {
+        out.valid = true;
+        out.raw = accumulator_ >> shift_;
+        out.power = model_.dequantize(out.raw);
+        accumulator_ = 0;
+        phase_ = 0;
+    }
+    return out;
+}
+
+std::vector<float>
+OpmSimulator::simulate(const BitColumnMatrix &Xq)
+{
+    APOLLO_REQUIRE(Xq.cols() == model_.proxyCount(),
+                   "proxy matrix arity mismatch");
+    reset();
+    const size_t n = Xq.rows();
+    const size_t words = (Xq.cols() + 63) / 64;
+    std::vector<uint64_t> row_bits(words);
+
+    std::vector<float> out;
+    out.reserve(n / T_);
+    for (size_t i = 0; i < n; ++i) {
+        // Gather this cycle's proxy bits from the column-major matrix.
+        std::fill(row_bits.begin(), row_bits.end(), 0);
+        for (size_t q = 0; q < Xq.cols(); ++q)
+            if (Xq.get(i, q))
+                row_bits[q >> 6] |= 1ULL << (q & 63);
+        const Output sample = step(row_bits.data());
+        if (sample.valid)
+            out.push_back(static_cast<float>(sample.power));
+    }
+    return out;
+}
+
+} // namespace apollo

@@ -1,0 +1,50 @@
+#include "opm/quantize.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace apollo {
+
+ApolloModel
+QuantizedModel::toFloatModel() const
+{
+    ApolloModel model;
+    model.proxyIds = proxyIds;
+    model.intercept = dequantize(qintercept);
+    model.weights.resize(qweights.size());
+    for (size_t q = 0; q < qweights.size(); ++q)
+        model.weights[q] = static_cast<float>(qweights[q] * scale);
+    return model;
+}
+
+QuantizedModel
+quantizeModel(const ApolloModel &model, uint32_t bits)
+{
+    APOLLO_REQUIRE(bits >= 2 && bits <= 24, "bits out of range");
+    QuantizedModel qm;
+    qm.proxyIds = model.proxyIds;
+    qm.bits = bits;
+
+    double max_abs = 0.0;
+    for (float w : model.weights)
+        max_abs = std::max(max_abs, std::abs(static_cast<double>(w)));
+    if (max_abs == 0.0)
+        max_abs = 1.0;
+    const auto qmax = static_cast<double>((1 << (bits - 1)) - 1);
+    qm.scale = max_abs / qmax;
+
+    qm.qweights.resize(model.weights.size());
+    for (size_t q = 0; q < model.weights.size(); ++q) {
+        const auto v = static_cast<int32_t>(
+            std::lround(model.weights[q] / qm.scale));
+        qm.qweights[q] = std::clamp<int32_t>(
+            v, -static_cast<int32_t>(qmax), static_cast<int32_t>(qmax));
+    }
+    qm.qintercept =
+        static_cast<int64_t>(std::llround(model.intercept / qm.scale));
+    return qm;
+}
+
+} // namespace apollo

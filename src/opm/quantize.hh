@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Weight quantization for the on-chip power meter (§6): weights become
+ * B-bit fixed-point integers (signed, symmetric scale); the intercept
+ * is quantized on the same scale and added once per cycle.
+ */
+
+#ifndef APOLLO_OPM_QUANTIZE_HH
+#define APOLLO_OPM_QUANTIZE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/apollo_model.hh"
+
+namespace apollo {
+
+/** A B-bit fixed-point APOLLO model. */
+struct QuantizedModel
+{
+    std::vector<uint32_t> proxyIds;
+    /** Signed B-bit weights: |qw| <= 2^(B-1) - 1. */
+    std::vector<int32_t> qweights;
+    /** Quantized intercept on the same scale. */
+    int64_t qintercept = 0;
+    uint32_t bits = 10;
+    /** Dequantization factor: w ~= qw * scale. */
+    double scale = 1.0;
+
+    size_t proxyCount() const { return proxyIds.size(); }
+
+    /** Convert an integer accumulator value back to power units. */
+    double dequantize(int64_t acc) const { return acc * scale; }
+
+    /** Float model reconstructed from the quantized weights. */
+    ApolloModel toFloatModel() const;
+};
+
+/** Quantize @p model to @p bits-bit weights. */
+QuantizedModel quantizeModel(const ApolloModel &model, uint32_t bits);
+
+} // namespace apollo
+
+#endif // APOLLO_OPM_QUANTIZE_HH

@@ -1,0 +1,256 @@
+#include "rtl/design_builder.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace apollo {
+
+namespace {
+
+/** Lognormal capacitance draw with clamped tail. */
+float
+drawCap(Xoshiro256StarStar &rng, float scale, float sigma = 0.7f)
+{
+    const float c = scale * std::exp(sigma
+            * static_cast<float>(rng.nextGaussian()));
+    return std::min(c, scale * 30.0f);
+}
+
+void
+buildUnit(Netlist &netlist, const UnitConfig &unit_cfg,
+          uint32_t ff_per_clock_gate, Xoshiro256StarStar &rng)
+{
+    const UnitId unit = unit_cfg.unit;
+    const uint32_t total = unit_cfg.signals;
+    UnitRange range;
+    range.first = static_cast<uint32_t>(netlist.signalCount());
+    range.count = total;
+
+    // Partition the unit's signal budget. The clock tree unit is special:
+    // it is all clock distribution.
+    uint32_t n_bus_bits = unit_cfg.busCount * unit_cfg.busWidth;
+    if (n_bus_bits > total / 2)
+        n_bus_bits = 0; // config asked for more bus bits than sensible
+    uint32_t remaining = total - n_bus_bits;
+    uint32_t n_ff;
+    uint32_t n_gclk;
+    if (unit == UnitId::ClockTree) {
+        n_ff = 0;
+        n_gclk = remaining / 2;
+    } else {
+        n_ff = static_cast<uint32_t>(remaining * 0.45);
+        n_gclk = std::max<uint32_t>(1, n_ff / ff_per_clock_gate);
+    }
+    const uint32_t n_clken = n_gclk;
+    const uint32_t n_wire =
+        remaining - n_ff - std::min(remaining - n_ff, n_gclk + n_clken);
+
+    auto common = [&](SignalKind kind) {
+        Signal sig;
+        sig.unit = unit;
+        sig.kind = kind;
+        const double u = rng.nextDouble();
+        sig.latency = u < 0.6 ? 0 : (u < 0.9 ? 1 : 2);
+        return sig;
+    };
+
+    // Gated clock nets: high capacitance (each drives many flop clock
+    // pins), toggling is fully determined by the unit's clock enable.
+    // These are the single largest dynamic-power contributors, which is
+    // why §7.4 finds 39/159 proxies are gated clocks.
+    for (uint32_t i = 0; i < n_gclk; ++i) {
+        Signal sig = common(SignalKind::GatedClock);
+        sig.cap = drawCap(rng, unit_cfg.capScale * 28.0f, 0.5f);
+        sig.actSensitivity = 1.0f;
+        sig.dataSensitivity = 0.0f;
+        sig.baseRate = 0.0f;
+        sig.latency = 0;
+        netlist.addSignal(sig);
+    }
+    // Clock-gate enables: cheap nets toggling on gating transitions.
+    for (uint32_t i = 0; i < n_clken; ++i) {
+        Signal sig = common(SignalKind::ClockEnable);
+        sig.cap = drawCap(rng, unit_cfg.capScale * 1.5f);
+        sig.actSensitivity = 1.0f;
+        sig.latency = 0;
+        netlist.addSignal(sig);
+    }
+    // Flip-flops.
+    for (uint32_t i = 0; i < n_ff; ++i) {
+        Signal sig = common(SignalKind::FlipFlop);
+        sig.cap = drawCap(rng, unit_cfg.capScale * 1.0f);
+        sig.actSensitivity =
+            0.35f + 0.65f * static_cast<float>(rng.nextDouble());
+        sig.dataSensitivity =
+            0.5f * static_cast<float>(rng.nextDouble());
+        // A small number of free-running state machines / counters.
+        sig.baseRate = rng.nextDouble() < 0.01
+            ? 0.3f + 0.6f * static_cast<float>(rng.nextDouble())
+            : 0.03f * static_cast<float>(rng.nextDouble());
+        netlist.addSignal(sig);
+    }
+    // Combinational wires: data-sensitive, glitch-prone.
+    for (uint32_t i = 0; i < n_wire; ++i) {
+        Signal sig = common(SignalKind::CombWire);
+        sig.cap = drawCap(rng, unit_cfg.capScale * 0.8f);
+        sig.actSensitivity =
+            0.25f + 0.75f * static_cast<float>(rng.nextDouble());
+        sig.dataSensitivity =
+            0.2f + 0.6f * static_cast<float>(rng.nextDouble());
+        sig.baseRate = 0.02f * static_cast<float>(rng.nextDouble());
+        sig.glitchDepth =
+            static_cast<uint8_t>(1 + rng.nextBounded(6));
+        netlist.addSignal(sig);
+    }
+    // Buses: datapath words whose bits toggle together on a bus event.
+    const uint32_t n_buses =
+        unit_cfg.busWidth ? n_bus_bits / unit_cfg.busWidth : 0;
+    for (uint32_t b = 0; b < n_buses; ++b) {
+        Bus bus;
+        bus.firstSignal = static_cast<uint32_t>(netlist.signalCount());
+        bus.width = unit_cfg.busWidth;
+        bus.eventSensitivity =
+            0.4f + 0.5f * static_cast<float>(rng.nextDouble());
+        const int32_t bus_id =
+            static_cast<int32_t>(netlist.buses().size());
+        const uint8_t bus_latency =
+            rng.nextDouble() < 0.6 ? 0 : 1;
+        for (uint32_t i = 0; i < unit_cfg.busWidth; ++i) {
+            Signal sig = common(SignalKind::BusBit);
+            sig.cap = drawCap(rng, unit_cfg.capScale * 1.2f, 0.4f);
+            sig.actSensitivity = bus.eventSensitivity;
+            sig.dataSensitivity =
+                0.3f + 0.5f * static_cast<float>(rng.nextDouble());
+            sig.busId = bus_id;
+            sig.latency = bus_latency;
+            netlist.addSignal(sig);
+        }
+        netlist.addBus(bus);
+    }
+
+    range.count =
+        static_cast<uint32_t>(netlist.signalCount()) - range.first;
+    netlist.setUnitRange(unit, range);
+}
+
+UnitConfig
+unitCfg(UnitId unit, uint32_t signals, uint32_t bus_count,
+        uint32_t bus_width, float cap_scale)
+{
+    UnitConfig cfg;
+    cfg.unit = unit;
+    cfg.signals = signals;
+    cfg.busCount = bus_count;
+    cfg.busWidth = bus_width;
+    cfg.capScale = cap_scale;
+    return cfg;
+}
+
+} // namespace
+
+DesignConfig
+DesignConfig::neoverseN1ish()
+{
+    DesignConfig cfg;
+    cfg.name = "neoverse-n1ish";
+    cfg.seed = 0x4e31;
+    cfg.nominalCoreGates = 4.2e6;
+    cfg.nominalCorePower = 4.2e6 * 0.14;
+    cfg.units = {
+        unitCfg(UnitId::Fetch, 1200, 4, 16, 0.7f),
+        unitCfg(UnitId::BranchPred, 1000, 2, 16, 0.7f),
+        unitCfg(UnitId::ICache, 1200, 6, 32, 0.9f),
+        unitCfg(UnitId::Decode, 1400, 4, 16, 0.8f),
+        unitCfg(UnitId::Rename, 1200, 4, 16, 0.8f),
+        unitCfg(UnitId::Issue, 3200, 8, 16, 1.2f),
+        unitCfg(UnitId::IntAlu, 1800, 6, 32, 1.4f),
+        unitCfg(UnitId::IntMulDiv, 1000, 4, 32, 1.6f),
+        unitCfg(UnitId::VecExec, 2800, 10, 32, 2.2f),
+        unitCfg(UnitId::RegFile, 1200, 6, 32, 1.4f),
+        unitCfg(UnitId::Bypass, 900, 4, 32, 1.2f),
+        unitCfg(UnitId::LoadStore, 2400, 8, 32, 1.5f),
+        unitCfg(UnitId::DCache, 1400, 6, 32, 1.4f),
+        unitCfg(UnitId::L2Cache, 1200, 6, 32, 1.2f),
+        unitCfg(UnitId::Retire, 1000, 4, 16, 0.7f),
+        unitCfg(UnitId::ClockTree, 120, 0, 0, 0.45f),
+        unitCfg(UnitId::Misc, 700, 2, 16, 0.6f),
+    };
+    return cfg;
+}
+
+DesignConfig
+DesignConfig::cortexA77ish()
+{
+    DesignConfig cfg;
+    cfg.name = "cortex-a77ish";
+    cfg.seed = 0xa77;
+    cfg.nominalCoreGates = 6.0e6;
+    cfg.nominalCorePower = 6.0e6 * 0.15;
+    cfg.units = {
+        unitCfg(UnitId::Fetch, 2000, 6, 16, 0.7f),
+        unitCfg(UnitId::BranchPred, 2200, 4, 16, 0.8f),
+        unitCfg(UnitId::ICache, 1800, 8, 32, 0.9f),
+        unitCfg(UnitId::Decode, 2600, 6, 16, 0.8f),
+        unitCfg(UnitId::Rename, 2200, 6, 16, 0.8f),
+        unitCfg(UnitId::Issue, 5600, 12, 16, 1.2f),
+        unitCfg(UnitId::IntAlu, 3000, 8, 32, 1.4f),
+        unitCfg(UnitId::IntMulDiv, 1400, 4, 32, 1.6f),
+        unitCfg(UnitId::VecExec, 5200, 16, 32, 2.2f),
+        unitCfg(UnitId::RegFile, 2000, 8, 32, 1.4f),
+        unitCfg(UnitId::Bypass, 1400, 6, 32, 1.2f),
+        unitCfg(UnitId::LoadStore, 3800, 10, 32, 1.5f),
+        unitCfg(UnitId::DCache, 2200, 8, 32, 1.4f),
+        unitCfg(UnitId::L2Cache, 1800, 8, 32, 1.2f),
+        unitCfg(UnitId::Retire, 1600, 4, 16, 0.7f),
+        unitCfg(UnitId::ClockTree, 192, 0, 0, 0.45f),
+        unitCfg(UnitId::Misc, 1000, 2, 16, 0.6f),
+    };
+    return cfg;
+}
+
+DesignConfig
+DesignConfig::tiny()
+{
+    DesignConfig cfg;
+    cfg.name = "tiny";
+    cfg.seed = 0x717;
+    cfg.nominalCoreGates = 3.0e5;
+    cfg.nominalCorePower = 3.0e5 * 0.14;
+    cfg.units = {
+        unitCfg(UnitId::Fetch, 100, 1, 16, 0.7f),
+        unitCfg(UnitId::BranchPred, 80, 0, 0, 0.7f),
+        unitCfg(UnitId::ICache, 90, 1, 16, 0.9f),
+        unitCfg(UnitId::Decode, 100, 1, 16, 0.8f),
+        unitCfg(UnitId::Rename, 90, 0, 0, 0.8f),
+        unitCfg(UnitId::Issue, 220, 2, 16, 1.2f),
+        unitCfg(UnitId::IntAlu, 140, 1, 16, 1.4f),
+        unitCfg(UnitId::IntMulDiv, 90, 1, 16, 1.6f),
+        unitCfg(UnitId::VecExec, 200, 2, 16, 2.2f),
+        unitCfg(UnitId::RegFile, 90, 1, 16, 1.4f),
+        unitCfg(UnitId::Bypass, 70, 1, 16, 1.2f),
+        unitCfg(UnitId::LoadStore, 180, 2, 16, 1.5f),
+        unitCfg(UnitId::DCache, 110, 1, 16, 1.4f),
+        unitCfg(UnitId::L2Cache, 90, 1, 16, 1.2f),
+        unitCfg(UnitId::Retire, 80, 0, 0, 0.7f),
+        unitCfg(UnitId::ClockTree, 12, 0, 0, 0.45f),
+        unitCfg(UnitId::Misc, 60, 0, 0, 0.6f),
+    };
+    return cfg;
+}
+
+Netlist
+DesignBuilder::build(const DesignConfig &config)
+{
+    APOLLO_REQUIRE(!config.units.empty(), "design has no units");
+    Netlist netlist(config.name, config.seed);
+    netlist.setNominals(config.nominalCoreGates, config.nominalCorePower);
+    Xoshiro256StarStar rng(hashMix(config.seed));
+    for (const UnitConfig &unit_cfg : config.units)
+        buildUnit(netlist, unit_cfg, config.ffPerClockGate, rng);
+    return netlist;
+}
+
+} // namespace apollo

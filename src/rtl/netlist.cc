@@ -1,0 +1,40 @@
+#include "rtl/netlist.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace apollo {
+
+std::string
+Netlist::signalName(size_t id) const
+{
+    APOLLO_REQUIRE(id < signals_.size(), "signal id ", id, " out of range");
+    const Signal &sig = signals_[id];
+    const UnitRange &range = unitRanges_[static_cast<size_t>(sig.unit)];
+    const size_t local = id - range.first;
+
+    const char *suffix = nullptr;
+    switch (sig.kind) {
+      case SignalKind::FlipFlop: suffix = "ff"; break;
+      case SignalKind::CombWire: suffix = "wire"; break;
+      case SignalKind::GatedClock: suffix = "gclk"; break;
+      case SignalKind::ClockEnable: suffix = "clken"; break;
+      case SignalKind::BusBit: suffix = "bus"; break;
+      default: suffix = "sig"; break;
+    }
+
+    char buf[96];
+    if (sig.kind == SignalKind::BusBit && sig.busId >= 0) {
+        const Bus &owner = buses_[static_cast<size_t>(sig.busId)];
+        std::snprintf(buf, sizeof(buf), "u_%s/%s%d[%zu]",
+                      unitName(sig.unit), suffix, sig.busId,
+                      id - owner.firstSignal);
+    } else {
+        std::snprintf(buf, sizeof(buf), "u_%s/%s_%zu", unitName(sig.unit),
+                      suffix, local);
+    }
+    return buf;
+}
+
+} // namespace apollo

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Netlist: the full collection of RTL signals of a synthetic design,
+ * grouped by functional unit, plus design-level constants (nominal gate
+ * count and power used as denominators for OPM overhead accounting).
+ */
+
+#ifndef APOLLO_RTL_NETLIST_HH
+#define APOLLO_RTL_NETLIST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/signal.hh"
+
+namespace apollo {
+
+/** A multi-bit bus: a contiguous range of BusBit signals. */
+struct Bus
+{
+    uint32_t firstSignal = 0;
+    uint32_t width = 0;
+    /** Probability scale of a bus-level event when the unit is active. */
+    float eventSensitivity = 0.7f;
+};
+
+/** Contiguous signal-id range [first, first+count) belonging to a unit. */
+struct UnitRange
+{
+    uint32_t first = 0;
+    uint32_t count = 0;
+};
+
+/**
+ * The design netlist. Signal ids are dense [0, signalCount()).
+ *
+ * The synthetic netlist *samples* a commercial-scale design's signals:
+ * nominalCoreGates()/nominalCorePower() carry the full-design scale used
+ * when reporting OPM area/power overhead percentages (see DESIGN.md §2).
+ */
+class Netlist
+{
+  public:
+    Netlist() = default;
+    Netlist(std::string name, uint64_t seed) : name_(std::move(name)),
+        seed_(seed)
+    {}
+
+    const std::string &name() const { return name_; }
+    uint64_t seed() const { return seed_; }
+
+    size_t signalCount() const { return signals_.size(); }
+    const Signal &signal(size_t id) const { return signals_[id]; }
+    const std::vector<Signal> &signals() const { return signals_; }
+
+    const std::vector<Bus> &buses() const { return buses_; }
+    const Bus &bus(size_t id) const { return buses_[id]; }
+
+    const UnitRange &unitRange(UnitId unit) const
+    {
+        return unitRanges_[static_cast<size_t>(unit)];
+    }
+
+    /** Hierarchical name of a signal, e.g. "u_issue/wake_ff_123". */
+    std::string signalName(size_t id) const;
+
+    /** Total capacitance over all signals (used by power scaling). */
+    double totalCap() const { return totalCap_; }
+
+    /** Full-design gate count the netlist stands in for (GE). */
+    double nominalCoreGates() const { return nominalCoreGates_; }
+    /** Full-design average power at nominal voltage/frequency. */
+    double nominalCorePower() const { return nominalCorePower_; }
+
+    /** Builder-facing mutators. */
+    void setNominals(double gates, double power)
+    {
+        nominalCoreGates_ = gates;
+        nominalCorePower_ = power;
+    }
+
+    uint32_t
+    addSignal(const Signal &sig)
+    {
+        signals_.push_back(sig);
+        totalCap_ += sig.cap;
+        return static_cast<uint32_t>(signals_.size() - 1);
+    }
+
+    uint32_t
+    addBus(const Bus &bus)
+    {
+        buses_.push_back(bus);
+        return static_cast<uint32_t>(buses_.size() - 1);
+    }
+
+    void setUnitRange(UnitId unit, UnitRange range)
+    {
+        unitRanges_[static_cast<size_t>(unit)] = range;
+    }
+
+  private:
+    std::string name_;
+    uint64_t seed_ = 0;
+    std::vector<Signal> signals_;
+    std::vector<Bus> buses_;
+    UnitRange unitRanges_[numUnits];
+    double totalCap_ = 0.0;
+    double nominalCoreGates_ = 0.0;
+    double nominalCorePower_ = 0.0;
+};
+
+} // namespace apollo
+
+#endif // APOLLO_RTL_NETLIST_HH

@@ -1,0 +1,142 @@
+#include "trace/dataset.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace apollo {
+
+double
+Dataset::meanLabel() const
+{
+    if (y.empty())
+        return 0.0;
+    return std::accumulate(y.begin(), y.end(), 0.0) /
+           static_cast<double>(y.size());
+}
+
+Dataset
+Dataset::selectRows(const std::vector<uint32_t> &rows) const
+{
+    Dataset out;
+    out.X.reset(rows.size(), X.cols());
+    out.y.resize(rows.size());
+    for (size_t r = 0; r < rows.size(); ++r) {
+        APOLLO_REQUIRE(rows[r] < cycles(), "row out of range");
+        out.y[r] = y[rows[r]];
+    }
+    parallelFor(X.cols(), [&](size_t c0, size_t c1) {
+        for (size_t c = c0; c < c1; ++c)
+            for (size_t r = 0; r < rows.size(); ++r)
+                if (X.get(rows[r], c))
+                    out.X.setBit(r, c);
+    });
+    out.segments.push_back({"subset", 0, rows.size()});
+    return out;
+}
+
+void
+Dataset::splitBySegments(double val_fraction, Dataset &train,
+                         Dataset &val) const
+{
+    APOLLO_REQUIRE(val_fraction > 0.0 && val_fraction < 1.0,
+                   "val_fraction must be in (0, 1)");
+    APOLLO_REQUIRE(!segments.empty(), "dataset has no segment metadata");
+    const size_t stride = std::max<size_t>(
+        2, static_cast<size_t>(std::lround(1.0 / val_fraction)));
+
+    std::vector<uint32_t> train_rows;
+    std::vector<uint32_t> val_rows;
+    std::vector<SegmentInfo> train_segs;
+    std::vector<SegmentInfo> val_segs;
+
+    for (size_t s = 0; s < segments.size(); ++s) {
+        const SegmentInfo &seg = segments[s];
+        const bool to_val = (s % stride) == stride - 1;
+        auto &rows = to_val ? val_rows : train_rows;
+        auto &segs = to_val ? val_segs : train_segs;
+        SegmentInfo out_seg;
+        out_seg.name = seg.name;
+        out_seg.begin = rows.size();
+        for (size_t i = seg.begin; i < seg.end; ++i)
+            rows.push_back(static_cast<uint32_t>(i));
+        out_seg.end = rows.size();
+        segs.push_back(out_seg);
+    }
+    APOLLO_REQUIRE(!val_rows.empty(),
+                   "too few segments for the requested split");
+
+    train = selectRows(train_rows);
+    train.segments = std::move(train_segs);
+    val = selectRows(val_rows);
+    val.segments = std::move(val_segs);
+}
+
+CountDataset
+aggregateIntervals(const Dataset &dataset, uint32_t tau)
+{
+    APOLLO_REQUIRE(tau >= 1 && tau <= 255, "tau must be in [1, 255]");
+    APOLLO_REQUIRE(!dataset.segments.empty(),
+                   "dataset has no segment metadata");
+
+    // Lay out intervals per segment.
+    struct IntervalSpan
+    {
+        size_t cycleBegin;
+        size_t firstInterval;
+        size_t count;
+    };
+    std::vector<IntervalSpan> spans;
+    CountDataset out;
+    out.tau = tau;
+    size_t n_intervals = 0;
+    for (const SegmentInfo &seg : dataset.segments) {
+        const size_t k = seg.cycles() / tau;
+        if (k == 0)
+            continue;
+        spans.push_back({seg.begin, n_intervals, k});
+        SegmentInfo out_seg;
+        out_seg.name = seg.name;
+        out_seg.begin = n_intervals;
+        out_seg.end = n_intervals + k;
+        out.segments.push_back(out_seg);
+        n_intervals += k;
+    }
+    APOLLO_REQUIRE(n_intervals > 0, "no full intervals at this tau");
+
+    out.X = CountColumnMatrix(n_intervals, dataset.signals());
+    out.y.assign(n_intervals, 0.f);
+
+    // Labels: interval-average power.
+    for (const IntervalSpan &span : spans) {
+        for (size_t k = 0; k < span.count; ++k) {
+            double acc = 0.0;
+            for (uint32_t t = 0; t < tau; ++t)
+                acc += dataset.y[span.cycleBegin + k * tau + t];
+            out.y[span.firstInterval + k] =
+                static_cast<float>(acc / tau);
+        }
+    }
+
+    // Features: toggle counts per interval, column-parallel.
+    parallelFor(dataset.signals(), [&](size_t c0, size_t c1) {
+        for (size_t c = c0; c < c1; ++c) {
+            for (const IntervalSpan &span : spans) {
+                for (size_t k = 0; k < span.count; ++k) {
+                    uint8_t count = 0;
+                    for (uint32_t t = 0; t < tau; ++t)
+                        count += dataset.X.get(
+                            span.cycleBegin + k * tau + t, c);
+                    out.X.set(span.firstInterval + k, c, count);
+                }
+            }
+        }
+    });
+
+    return out;
+}
+
+} // namespace apollo

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Dataset containers: per-cycle toggle features (packed bits) with
+ * ground-truth power labels, benchmark segment metadata, train/val
+ * splitting, and tau-cycle interval aggregation for the multi-cycle
+ * APOLLO_tau model (§4.5).
+ */
+
+#ifndef APOLLO_TRACE_DATASET_HH
+#define APOLLO_TRACE_DATASET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bitvec.hh"
+
+namespace apollo {
+
+/** One benchmark's cycle range [begin, end) within a dataset. */
+struct SegmentInfo
+{
+    std::string name;
+    size_t begin = 0;
+    size_t end = 0;
+
+    size_t cycles() const { return end - begin; }
+};
+
+/** Per-cycle dataset: X is cycles x signals toggle bits, y is power. */
+struct Dataset
+{
+    BitColumnMatrix X;
+    std::vector<float> y;
+    std::vector<SegmentInfo> segments;
+
+    size_t cycles() const { return X.rows(); }
+    size_t signals() const { return X.cols(); }
+
+    /** Mean label. */
+    double meanLabel() const;
+
+    /**
+     * Split whole benchmark segments into train/val: every
+     * round(1/val_fraction)-th segment goes to validation. Keeps
+     * segment metadata on both sides.
+     */
+    void splitBySegments(double val_fraction, Dataset &train,
+                         Dataset &val) const;
+
+    /** Row-subset copy (used by splits); segment metadata rebuilt. */
+    Dataset selectRows(const std::vector<uint32_t> &rows) const;
+};
+
+/**
+ * tau-cycle aggregated dataset: X entries are toggle *counts* within
+ * each tau-cycle interval (0..tau), y is the interval-average power.
+ * Intervals never straddle segment boundaries (partial tails dropped).
+ */
+struct CountDataset
+{
+    CountColumnMatrix X;
+    std::vector<float> y;
+    uint32_t tau = 1;
+    std::vector<SegmentInfo> segments; ///< in interval units
+
+    size_t intervals() const { return X.rows(); }
+    size_t signals() const { return X.cols(); }
+};
+
+/** Aggregate a per-cycle dataset into tau-cycle intervals. */
+CountDataset aggregateIntervals(const Dataset &dataset, uint32_t tau);
+
+} // namespace apollo
+
+#endif // APOLLO_TRACE_DATASET_HH

@@ -1,0 +1,124 @@
+#include "trace/dataset_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace apollo {
+
+namespace {
+
+constexpr char magic[4] = {'A', 'P', 'D', 'S'};
+constexpr uint32_t version = 1;
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    T value{};
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+    APOLLO_REQUIRE(static_cast<bool>(is), "truncated dataset stream");
+    return value;
+}
+
+} // namespace
+
+void
+saveDataset(std::ostream &os, const Dataset &dataset)
+{
+    os.write(magic, sizeof(magic));
+    writePod(os, version);
+    writePod<uint64_t>(os, dataset.X.rows());
+    writePod<uint64_t>(os, dataset.X.cols());
+    for (size_t c = 0; c < dataset.X.cols(); ++c)
+        os.write(reinterpret_cast<const char *>(dataset.X.colWords(c)),
+                 static_cast<std::streamsize>(dataset.X.wordsPerCol() *
+                                              sizeof(uint64_t)));
+    os.write(reinterpret_cast<const char *>(dataset.y.data()),
+             static_cast<std::streamsize>(dataset.y.size() *
+                                          sizeof(float)));
+    writePod<uint64_t>(os, dataset.segments.size());
+    for (const SegmentInfo &seg : dataset.segments) {
+        writePod<uint64_t>(os, seg.name.size());
+        os.write(seg.name.data(),
+                 static_cast<std::streamsize>(seg.name.size()));
+        writePod<uint64_t>(os, seg.begin);
+        writePod<uint64_t>(os, seg.end);
+    }
+    APOLLO_REQUIRE(static_cast<bool>(os), "dataset write failed");
+}
+
+Dataset
+loadDataset(std::istream &is)
+{
+    char header[4] = {};
+    is.read(header, sizeof(header));
+    APOLLO_REQUIRE(static_cast<bool>(is) &&
+                       std::memcmp(header, magic, sizeof(magic)) == 0,
+                   "not an apollo dataset stream");
+    const auto file_version = readPod<uint32_t>(is);
+    APOLLO_REQUIRE(file_version == version, "unsupported dataset "
+                                            "version ", file_version);
+
+    Dataset ds;
+    const auto rows = readPod<uint64_t>(is);
+    const auto cols = readPod<uint64_t>(is);
+    APOLLO_REQUIRE(rows > 0 && cols > 0 && rows < (1ULL << 32) &&
+                       cols < (1ULL << 32),
+                   "implausible dataset dimensions");
+    ds.X.reset(rows, cols);
+    for (size_t c = 0; c < cols; ++c) {
+        is.read(reinterpret_cast<char *>(ds.X.colWordsMutable(c)),
+                static_cast<std::streamsize>(ds.X.wordsPerCol() *
+                                             sizeof(uint64_t)));
+    }
+    ds.y.resize(rows);
+    is.read(reinterpret_cast<char *>(ds.y.data()),
+            static_cast<std::streamsize>(rows * sizeof(float)));
+    APOLLO_REQUIRE(static_cast<bool>(is), "truncated dataset stream");
+
+    const auto n_segments = readPod<uint64_t>(is);
+    APOLLO_REQUIRE(n_segments <= rows, "implausible segment count");
+    ds.segments.resize(n_segments);
+    for (SegmentInfo &seg : ds.segments) {
+        const auto name_len = readPod<uint64_t>(is);
+        APOLLO_REQUIRE(name_len < 4096, "implausible segment name");
+        seg.name.resize(name_len);
+        is.read(seg.name.data(),
+                static_cast<std::streamsize>(name_len));
+        seg.begin = readPod<uint64_t>(is);
+        seg.end = readPod<uint64_t>(is);
+        APOLLO_REQUIRE(seg.begin <= seg.end && seg.end <= rows,
+                       "segment out of range");
+    }
+    APOLLO_REQUIRE(static_cast<bool>(is), "truncated dataset stream");
+    return ds;
+}
+
+void
+saveDatasetFile(const std::string &path, const Dataset &dataset)
+{
+    std::ofstream os(path, std::ios::binary);
+    APOLLO_REQUIRE(os.is_open(), "cannot open ", path, " for writing");
+    saveDataset(os, dataset);
+}
+
+Dataset
+loadDatasetFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    APOLLO_REQUIRE(is.is_open(), "cannot open ", path);
+    return loadDataset(is);
+}
+
+} // namespace apollo

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Binary serialization for datasets and toggle matrices. Used by the
+ * bench cache and the CLI tool so expensive trace generation runs once
+ * and downstream stages (training, OPM generation, analysis) operate
+ * on saved artifacts — mirroring how sign-off traces are passed
+ * between tools in the paper's flows.
+ *
+ * Format: little-endian, magic "APDS", version, then packed column
+ * words, labels, and segment metadata.
+ */
+
+#ifndef APOLLO_TRACE_DATASET_IO_HH
+#define APOLLO_TRACE_DATASET_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/dataset.hh"
+
+namespace apollo {
+
+/** Serialize @p dataset to a binary stream. */
+void saveDataset(std::ostream &os, const Dataset &dataset);
+
+/** Parse a dataset; throws FatalError on malformed input. */
+Dataset loadDataset(std::istream &is);
+
+/** File-path conveniences. */
+void saveDatasetFile(const std::string &path, const Dataset &dataset);
+Dataset loadDatasetFile(const std::string &path);
+
+} // namespace apollo
+
+#endif // APOLLO_TRACE_DATASET_IO_HH

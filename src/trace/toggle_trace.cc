@@ -1,0 +1,160 @@
+#include "trace/toggle_trace.hh"
+
+#include <map>
+#include <mutex>
+
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace apollo {
+
+DatasetBuilder::DatasetBuilder(const Netlist &netlist,
+                               const CoreParams &core_params,
+                               const PowerParams &power_params)
+    : netlist_(netlist), coreParams_(core_params), engine_(netlist),
+      oracle_(netlist, power_params)
+{}
+
+CoreStats
+DatasetBuilder::addProgram(const Program &prog, uint64_t max_cycles)
+{
+    return addProgram(prog, max_cycles, coreParams_.throttle);
+}
+
+CoreStats
+DatasetBuilder::addProgram(const Program &prog, uint64_t max_cycles,
+                           ThrottleMode throttle)
+{
+    CoreParams params = coreParams_;
+    params.throttle = throttle;
+    TimingCore core(params);
+
+    SegmentInfo seg;
+    seg.name = prog.name();
+    seg.begin = frames_.size();
+    CoreStats stats = core.run(prog, max_cycles,
+        [&](const ActivityFrame &f) { frames_.push_back(f); });
+    seg.end = frames_.size();
+    segments_.push_back(seg);
+    return stats;
+}
+
+std::vector<uint32_t>
+DatasetBuilder::segmentBeginTable() const
+{
+    std::vector<uint32_t> begin_of(frames_.size(), 0);
+    for (const SegmentInfo &seg : segments_)
+        for (size_t i = seg.begin; i < seg.end; ++i)
+            begin_of[i] = static_cast<uint32_t>(seg.begin);
+    return begin_of;
+}
+
+Dataset
+DatasetBuilder::build() const
+{
+    const size_t n = frames_.size();
+    const size_t m = netlist_.signalCount();
+    APOLLO_REQUIRE(n > 0, "no programs added");
+
+    Dataset ds;
+    ds.X.reset(n, m);
+    ds.segments = segments_;
+
+    const std::vector<uint32_t> begin_of = segmentBeginTable();
+    std::span<const ActivityFrame> frames(frames_);
+
+    // Column-parallel fill. Per-chunk partial label sums are collected
+    // keyed by their first column and reduced in column order, so the
+    // floating-point summation order is independent of thread
+    // scheduling (bit-reproducible labels).
+    std::map<size_t, std::vector<double>> partials;
+    std::mutex reduce_mutex;
+
+    parallelFor(m, [&](size_t c0, size_t c1) {
+        std::vector<double> local_y(n, 0.0);
+        for (size_t c = c0; c < c1; ++c) {
+            const auto sig_id = static_cast<uint32_t>(c);
+            for (size_t i = 0; i < n; ++i) {
+                if (engine_.toggles(sig_id, frames, i, begin_of[i])) {
+                    ds.X.setBit(i, c);
+                    local_y[i] +=
+                        oracle_.signalContribution(sig_id, frames[i]);
+                }
+            }
+        }
+        std::lock_guard<std::mutex> lock(reduce_mutex);
+        partials.emplace(c0, std::move(local_y));
+    });
+
+    std::vector<double> raw_y(n, 0.0);
+    for (const auto &[first_col, local_y] : partials) {
+        (void)first_col;
+        for (size_t i = 0; i < n; ++i)
+            raw_y[i] += local_y[i];
+    }
+
+    ds.y.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        ds.y[i] = static_cast<float>(oracle_.finalize(raw_y[i], i));
+    return ds;
+}
+
+double
+DatasetBuilder::averagePower(const Program &prog, uint64_t max_cycles,
+                             uint32_t signal_stride) const
+{
+    APOLLO_REQUIRE(signal_stride >= 1, "stride must be positive");
+    // Fitness evaluation: simulate, then compute power on the fly from
+    // frames without storing features. Row-wise, one pass.
+    TimingCore core(coreParams_);
+    std::vector<ActivityFrame> frames;
+    core.run(prog, max_cycles,
+             [&](const ActivityFrame &f) { frames.push_back(f); });
+    if (frames.empty())
+        return 0.0;
+
+    const size_t m = netlist_.signalCount();
+    std::span<const ActivityFrame> fspan(frames);
+    std::vector<double> cycle_power(frames.size(), 0.0);
+    parallelFor(frames.size(), [&](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i) {
+            double acc = 0.0;
+            for (size_t c = 0; c < m; c += signal_stride) {
+                const auto sig_id = static_cast<uint32_t>(c);
+                if (engine_.toggles(sig_id, fspan, i, 0))
+                    acc += oracle_.signalContribution(sig_id, fspan[i]);
+            }
+            cycle_power[i] =
+                oracle_.finalize(acc * signal_stride, i);
+        }
+    });
+
+    double total = 0.0;
+    for (double p : cycle_power)
+        total += p;
+    return total / static_cast<double>(frames.size());
+}
+
+BitColumnMatrix
+DatasetBuilder::traceProxies(const ActivityEngine &engine,
+                             std::span<const ActivityFrame> frames,
+                             std::span<const uint32_t> proxy_ids,
+                             std::span<const uint32_t> segment_begin_of)
+{
+    const size_t n = frames.size();
+    BitColumnMatrix bits(n, proxy_ids.size());
+    parallelFor(proxy_ids.size(), [&](size_t q0, size_t q1) {
+        for (size_t q = q0; q < q1; ++q) {
+            const uint32_t sig_id = proxy_ids[q];
+            for (size_t i = 0; i < n; ++i) {
+                const uint32_t seg =
+                    segment_begin_of.empty() ? 0 : segment_begin_of[i];
+                if (engine.toggles(sig_id, frames, i, seg))
+                    bits.setBit(i, q);
+            }
+        }
+    });
+    return bits;
+}
+
+} // namespace apollo

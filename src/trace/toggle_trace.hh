@@ -1,0 +1,93 @@
+/**
+ * @file
+ * DatasetBuilder: runs programs on the timing core, keeps the per-cycle
+ * ActivityFrame stream, and materializes toggle features plus
+ * ground-truth power labels (the "commercial flow" of Fig. 7(a)).
+ *
+ * Also provides proxy-only tracing (traceProxies) — the emulator-
+ * assisted flow of Fig. 7(c): only the Q proxy columns are generated, at
+ * cost proportional to Q rather than M, and the produced bits are
+ * guaranteed identical to the corresponding columns of a full trace
+ * (see ActivityEngine's statelessness contract).
+ */
+
+#ifndef APOLLO_TRACE_TOGGLE_TRACE_HH
+#define APOLLO_TRACE_TOGGLE_TRACE_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "activity/activity_engine.hh"
+#include "power/power_oracle.hh"
+#include "trace/dataset.hh"
+#include "uarch/core.hh"
+
+namespace apollo {
+
+/** Builds per-cycle datasets from program runs. */
+class DatasetBuilder
+{
+  public:
+    DatasetBuilder(const Netlist &netlist,
+                   const CoreParams &core_params = CoreParams::defaults(),
+                   const PowerParams &power_params = PowerParams{});
+
+    /** Simulate @p prog (capped at @p max_cycles) and append frames. */
+    CoreStats addProgram(const Program &prog, uint64_t max_cycles);
+
+    /** Same, but override the core's throttle mode for this program. */
+    CoreStats addProgram(const Program &prog, uint64_t max_cycles,
+                         ThrottleMode throttle);
+
+    /** Frames collected so far. */
+    const std::vector<ActivityFrame> &frames() const { return frames_; }
+    const std::vector<SegmentInfo> &segments() const { return segments_; }
+
+    /**
+     * Materialize features for all M signals plus power labels.
+     * Column-parallel; the builder can keep accepting programs and
+     * build() can be called repeatedly.
+     */
+    Dataset build() const;
+
+    /**
+     * Average oracle power over a program without materializing
+     * features; used as the GA fitness function. @p signal_stride > 1
+     * estimates power from every stride-th signal (scaled back up) —
+     * fitness only needs relative ordering, and sampling cuts cost
+     * proportionally.
+     */
+    double averagePower(const Program &prog, uint64_t max_cycles,
+                        uint32_t signal_stride = 1) const;
+
+    const Netlist &netlist() const { return netlist_; }
+    const ActivityEngine &engine() const { return engine_; }
+    const PowerOracle &oracle() const { return oracle_; }
+
+    /**
+     * Emulator-assisted proxy-only trace: toggle bits of just
+     * @p proxy_ids over @p frames (cost O(cycles * Q)).
+     * @p segment_begin_of maps cycle -> its segment's first cycle.
+     */
+    static BitColumnMatrix traceProxies(
+        const ActivityEngine &engine,
+        std::span<const ActivityFrame> frames,
+        std::span<const uint32_t> proxy_ids,
+        std::span<const uint32_t> segment_begin_of);
+
+    /** Per-cycle segment-begin table for the frames collected so far. */
+    std::vector<uint32_t> segmentBeginTable() const;
+
+  private:
+    const Netlist &netlist_;
+    CoreParams coreParams_;
+    ActivityEngine engine_;
+    PowerOracle oracle_;
+    std::vector<ActivityFrame> frames_;
+    std::vector<SegmentInfo> segments_;
+};
+
+} // namespace apollo
+
+#endif // APOLLO_TRACE_TOGGLE_TRACE_HH

@@ -1,0 +1,153 @@
+#include "trace/vcd.hh"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace apollo {
+
+VcdWriter::VcdWriter(std::ostream &os, const Netlist &netlist,
+                     std::vector<uint32_t> signals)
+    : os_(os), netlist_(netlist), signals_(std::move(signals)),
+      value_(signals_.size(), 0)
+{
+    APOLLO_REQUIRE(!signals_.empty(), "no signals to dump");
+}
+
+std::string
+VcdWriter::idCode(size_t index)
+{
+    // Printable identifier characters '!' (33) .. '~' (126), base 94.
+    std::string id;
+    do {
+        id.push_back(static_cast<char>(33 + index % 94));
+        index /= 94;
+    } while (index);
+    return id;
+}
+
+void
+VcdWriter::writeHeader()
+{
+    os_ << "$date apollo $end\n";
+    os_ << "$version apollo-vcd 1.0 $end\n";
+    os_ << "$timescale 1ns $end\n";
+
+    // One scope per functional unit, in signal order.
+    UnitId current = UnitId::NumUnits;
+    bool scope_open = false;
+    for (size_t k = 0; k < signals_.size(); ++k) {
+        const Signal &sig = netlist_.signal(signals_[k]);
+        if (sig.unit != current) {
+            if (scope_open)
+                os_ << "$upscope $end\n";
+            os_ << "$scope module u_" << unitName(sig.unit) << " $end\n";
+            current = sig.unit;
+            scope_open = true;
+        }
+        os_ << "$var wire 1 " << idCode(k) << " "
+            << netlist_.signalName(signals_[k]) << " $end\n";
+    }
+    if (scope_open)
+        os_ << "$upscope $end\n";
+    os_ << "$enddefinitions $end\n";
+    os_ << "$dumpvars\n";
+    for (size_t k = 0; k < signals_.size(); ++k)
+        os_ << "0" << idCode(k) << "\n";
+    os_ << "$end\n";
+    headerDone_ = true;
+}
+
+void
+VcdWriter::writeCycle(const BitVector &toggled)
+{
+    APOLLO_REQUIRE(headerDone_, "writeHeader() must be called first");
+    APOLLO_REQUIRE(toggled.size() == signals_.size(),
+                   "toggle vector arity mismatch");
+    os_ << "#" << cycle_ << "\n";
+    for (size_t k = 0; k < signals_.size(); ++k) {
+        if (toggled.get(k)) {
+            value_[k] ^= 1;
+            os_ << static_cast<int>(value_[k]) << idCode(k) << "\n";
+        }
+    }
+    cycle_++;
+}
+
+void
+VcdWriter::finish()
+{
+    os_ << "#" << cycle_ << "\n";
+    os_.flush();
+}
+
+VcdTrace
+parseVcd(std::istream &is)
+{
+    std::vector<std::string> names;
+    std::map<std::string, size_t> id_to_index;
+    std::string token;
+
+    // Header.
+    while (is >> token) {
+        if (token == "$var") {
+            std::string type, width, id, name;
+            is >> type >> width >> id >> name;
+            id_to_index[id] = names.size();
+            names.push_back(name);
+            // consume "$end"
+            while (is >> token && token != "$end") {}
+        } else if (token == "$enddefinitions") {
+            while (is >> token && token != "$end") {}
+            break;
+        }
+    }
+    APOLLO_REQUIRE(!names.empty(), "VCD has no $var declarations");
+
+    // Value changes. First pass into a sparse (cycle, index) list.
+    std::vector<std::pair<uint64_t, size_t>> flips;
+    std::vector<uint8_t> value(names.size(), 0);
+    uint64_t cycle = 0;
+    uint64_t max_cycle = 0;
+    bool in_dumpvars = false;
+
+    while (is >> token) {
+        if (token == "$dumpvars") {
+            in_dumpvars = true;
+            continue;
+        }
+        if (token == "$end") {
+            in_dumpvars = false;
+            continue;
+        }
+        if (token[0] == '#') {
+            cycle = std::stoull(token.substr(1));
+            max_cycle = std::max(max_cycle, cycle);
+            continue;
+        }
+        if (token[0] == '0' || token[0] == '1') {
+            const std::string id = token.substr(1);
+            auto it = id_to_index.find(id);
+            APOLLO_REQUIRE(it != id_to_index.end(),
+                           "unknown VCD id ", id);
+            const uint8_t v = token[0] == '1' ? 1 : 0;
+            if (!in_dumpvars && v != value[it->second])
+                flips.emplace_back(cycle, it->second);
+            value[it->second] = v;
+        }
+    }
+
+    VcdTrace trace;
+    trace.names = std::move(names);
+    trace.toggles.reset(max_cycle, trace.names.size());
+    for (const auto &[flip_cycle, index] : flips) {
+        if (flip_cycle < max_cycle)
+            trace.toggles.setBit(flip_cycle, index);
+    }
+    return trace;
+}
+
+} // namespace apollo

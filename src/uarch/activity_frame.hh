@@ -1,0 +1,57 @@
+/**
+ * @file
+ * ActivityFrame: the per-cycle micro-architectural activity summary the
+ * timing core emits and the activity engine consumes. One frame fully
+ * determines (together with the netlist and design seed) the toggle bit
+ * of every RTL signal in that cycle.
+ */
+
+#ifndef APOLLO_UARCH_ACTIVITY_FRAME_HH
+#define APOLLO_UARCH_ACTIVITY_FRAME_HH
+
+#include <array>
+#include <cstdint>
+
+#include "rtl/signal.hh"
+
+namespace apollo {
+
+/** Per-cycle, per-unit activity summary. */
+struct ActivityFrame
+{
+    /** Utilization of each unit this cycle, [0, 1]. */
+    std::array<float, numUnits> activity{};
+    /** Whether each unit's clock is enabled this cycle. */
+    std::array<bool, numUnits> clockEnabled{};
+    /** Data-toggle factor of each unit this cycle, [0, 1]. */
+    std::array<float, numUnits> dataToggle{};
+    /** Cycle index (for stateless hashing). */
+    uint64_t cycle = 0;
+
+    float act(UnitId unit) const
+    {
+        return activity[static_cast<size_t>(unit)];
+    }
+    bool enabled(UnitId unit) const
+    {
+        return clockEnabled[static_cast<size_t>(unit)];
+    }
+    float data(UnitId unit) const
+    {
+        return dataToggle[static_cast<size_t>(unit)];
+    }
+
+    void
+    set(UnitId unit, float activity_level, bool enabled_now,
+        float data_level)
+    {
+        const auto u = static_cast<size_t>(unit);
+        activity[u] = activity_level;
+        clockEnabled[u] = enabled_now;
+        dataToggle[u] = data_level;
+    }
+};
+
+} // namespace apollo
+
+#endif // APOLLO_UARCH_ACTIVITY_FRAME_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Issue-throttling schemes. The Neoverse N1 TRM describes maximum-power
+ * mitigation via instruction throttling; the paper's "throttling_1/2/3"
+ * test benchmarks exercise three such schemes. We model three:
+ *   Scheme1 — hard cap on total issue width,
+ *   Scheme2 — duty cycling (no issue 1 out of every 4 cycles),
+ *   Scheme3 — vector-issue rate limited to 1 op per 2 cycles.
+ */
+
+#ifndef APOLLO_UARCH_THROTTLE_HH
+#define APOLLO_UARCH_THROTTLE_HH
+
+#include <cstdint>
+
+namespace apollo {
+
+/** Supported throttling schemes. */
+enum class ThrottleMode : uint8_t
+{
+    None,
+    Scheme1, ///< issue width capped at 2
+    Scheme2, ///< duty cycle: issue blocked every 4th cycle
+    Scheme3, ///< vector issue limited to 1 op per 2 cycles
+};
+
+/** Per-cycle throttling decisions. */
+class Throttle
+{
+  public:
+    explicit Throttle(ThrottleMode mode = ThrottleMode::None)
+        : mode_(mode)
+    {}
+
+    ThrottleMode mode() const { return mode_; }
+
+    /** Max total ops issueable in @p cycle given base @p issue_width. */
+    uint32_t
+    maxIssue(uint64_t cycle, uint32_t issue_width) const
+    {
+        switch (mode_) {
+          case ThrottleMode::Scheme1:
+            return issue_width < 2 ? issue_width : 2;
+          case ThrottleMode::Scheme2:
+            return (cycle % 4 == 3) ? 0 : issue_width;
+          default:
+            return issue_width;
+        }
+    }
+
+    /** Max vector ops issueable in @p cycle. */
+    uint32_t
+    maxVectorIssue(uint64_t cycle, uint32_t vec_width) const
+    {
+        if (mode_ == ThrottleMode::Scheme3)
+            return (cycle % 2 == 0) ? 1 : 0;
+        return vec_width;
+    }
+
+  private:
+    ThrottleMode mode_;
+};
+
+} // namespace apollo
+
+#endif // APOLLO_UARCH_THROTTLE_HH

@@ -1,0 +1,21 @@
+#include "util/bitvec.hh"
+
+namespace apollo {
+
+BitColumnMatrix
+BitColumnMatrix::selectColumns(const std::vector<uint32_t> &selected) const
+{
+    BitColumnMatrix out(rows_, selected.size());
+    for (size_t j = 0; j < selected.size(); ++j) {
+        APOLLO_REQUIRE(selected[j] < cols_,
+                       "selected column ", selected[j], " out of range ",
+                       cols_);
+        const uint64_t *src = colWords(selected[j]);
+        uint64_t *dst = out.colWordsMutable(j);
+        for (size_t k = 0; k < wordsPerCol_; ++k)
+            dst[k] = src[k];
+    }
+    return out;
+}
+
+} // namespace apollo

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Error reporting and status-message helpers, in the spirit of gem5's
+ * logging.hh: fatal() for user-caused conditions, panic() for internal
+ * invariant violations, warn()/inform() for status.
+ */
+
+#ifndef APOLLO_UTIL_LOGGING_HH
+#define APOLLO_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace apollo {
+
+/** Exception thrown by fatal(): the caller supplied an invalid request. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown by panic(): an internal invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &os)
+{
+    (void)os;
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+formatMessage(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an unrecoverable condition caused by the caller (bad
+ * configuration, invalid arguments). Throws FatalError so library users
+ * and tests can catch it.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    throw FatalError(detail::formatMessage(args...));
+}
+
+/**
+ * Report an internal invariant violation (a bug in this library).
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    throw PanicError(detail::formatMessage(args...));
+}
+
+/** Print a warning to stderr; never stops execution. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::fprintf(stderr, "warn: %s\n",
+                 detail::formatMessage(args...).c_str());
+}
+
+/** Print an informational message to stderr; never stops execution. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    std::fprintf(stderr, "info: %s\n",
+                 detail::formatMessage(args...).c_str());
+}
+
+/** Check a caller-facing precondition; fatal() on failure. */
+#define APOLLO_REQUIRE(cond, ...)                                           \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::apollo::fatal("requirement failed: " #cond " — ",             \
+                            ##__VA_ARGS__);                                 \
+    } while (0)
+
+/** Check an internal invariant; panic() on failure. */
+#define APOLLO_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::apollo::panic("assertion failed: " #cond " — ",               \
+                            ##__VA_ARGS__);                                 \
+    } while (0)
+
+} // namespace apollo
+
+#endif // APOLLO_UTIL_LOGGING_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Two flavours are provided:
+ *  - Xoshiro256StarStar: a fast sequential generator for GA mutation,
+ *    K-means initialization, neural-net weight init, etc.
+ *  - stateless hash-based draws (hashMix / hashToUnitFloat): used by the
+ *    activity engine so that the toggle bit of signal j at cycle i is a
+ *    pure function of (design seed, j, i, activity). This is what makes
+ *    toggle traces bit-reproducible regardless of the order or subset of
+ *    signals evaluated — the property the emulator-assisted flow relies
+ *    on (tracing only Q proxies yields exactly the same bits as a full
+ *    M-signal trace).
+ */
+
+#ifndef APOLLO_UTIL_RNG_HH
+#define APOLLO_UTIL_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace apollo {
+
+/** SplitMix64 step; also used to seed other generators. */
+constexpr uint64_t
+splitMix64(uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Mix an arbitrary 64-bit value into a well-distributed hash. */
+constexpr uint64_t
+hashMix(uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/** Combine two hash words (order-sensitive). */
+constexpr uint64_t
+hashCombine(uint64_t a, uint64_t b)
+{
+    return hashMix(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/** Map a hash word to a float uniform in [0, 1). */
+constexpr float
+hashToUnitFloat(uint64_t h)
+{
+    // Use the top 24 bits for a dense mantissa.
+    return static_cast<float>(h >> 40) * (1.0f / 16777216.0f);
+}
+
+/**
+ * xoshiro256** by Blackman & Vigna: small, fast, high-quality sequential
+ * PRNG. Satisfies UniformRandomBitGenerator.
+ */
+class Xoshiro256StarStar
+{
+  public:
+    using result_type = uint64_t;
+
+    explicit Xoshiro256StarStar(uint64_t seed = 0x5eed5eed5eed5eedULL)
+    {
+        uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitMix64(sm);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    result_type
+    operator()()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform float in [0, 1). */
+    float nextFloat() { return static_cast<float>(nextDouble()); }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t
+    nextBounded(uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free approximation is fine
+        // for our non-cryptographic use.
+        return static_cast<uint64_t>(
+            (static_cast<__uint128_t>((*this)()) * bound) >> 64);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    nextRange(double lo, double hi)
+    {
+        return lo + (hi - lo) * nextDouble();
+    }
+
+    /** Standard normal draw (Box-Muller, one value per call). */
+    double
+    nextGaussian()
+    {
+        if (haveSpare_) {
+            haveSpare_ = false;
+            return spare_;
+        }
+        double u1 = 0.0;
+        while (u1 <= 1e-300)
+            u1 = nextDouble();
+        const double u2 = nextDouble();
+        const double mag = std::sqrt(-2.0 * std::log(u1));
+        constexpr double twoPi = 6.283185307179586;
+        spare_ = mag * std::sin(twoPi * u2);
+        haveSpare_ = true;
+        return mag * std::cos(twoPi * u2);
+    }
+
+  private:
+    static constexpr uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace apollo
+
+#endif // APOLLO_UTIL_RNG_HH

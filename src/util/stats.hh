@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Small streaming statistics helpers (Welford mean/variance, min/max).
+ */
+
+#ifndef APOLLO_UTIL_STATS_HH
+#define APOLLO_UTIL_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace apollo {
+
+/** Streaming mean/variance/min/max accumulator (Welford's algorithm). */
+class RunningStats
+{
+  public:
+    void
+    add(double x)
+    {
+        n_++;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace apollo
+
+#endif // APOLLO_UTIL_STATS_HH

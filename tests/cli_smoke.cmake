@@ -1,0 +1,28 @@
+# Drives the CLI through the full pipeline on the tiny design.
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_step)
+    execute_process(COMMAND ${APOLLO_CLI} ${ARGN}
+                    WORKING_DIRECTORY ${WORK_DIR}
+                    RESULT_VARIABLE rc
+                    OUTPUT_VARIABLE out
+                    ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "apollo ${ARGN} failed (${rc}): ${out} ${err}")
+    endif()
+endfunction()
+
+run_step(gen-data --design tiny --out train.apds --benchmarks 10
+         --cycles 200)
+run_step(gen-test --design tiny --out test.apds)
+run_step(train --data train.apds --q 25 --out model.txt)
+run_step(eval --model model.txt --data test.apds)
+run_step(opm --model model.txt --design tiny --bits 10 --emit opm.hh)
+run_step(trace --model model.txt --design tiny --cycles 5000
+         --out trace.csv)
+
+foreach(artifact train.apds test.apds model.txt opm.hh trace.csv)
+    if(NOT EXISTS ${WORK_DIR}/${artifact})
+        message(FATAL_ERROR "missing artifact: ${artifact}")
+    endif()
+endforeach()

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the baseline implementations (core/baselines.cc):
+ * Lasso [53], Simmani [40] (per-cycle and windowed), PCA and the
+ * PRIMAL-class net wrappers — exercised directly rather than only
+ * through the Fig. 10/11 benches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/baselines.hh"
+#include "gen/ga_generator.hh"
+#include "ml/metrics.hh"
+#include "rtl/design_builder.hh"
+#include "trace/toggle_trace.hh"
+
+namespace apollo {
+namespace {
+
+/** Shared small train/test pair. */
+struct BaselineFixtureData
+{
+    Netlist netlist = DesignBuilder::build(DesignConfig::tiny());
+    Dataset train;
+    Dataset test;
+    std::vector<uint32_t> flipflops;
+
+    BaselineFixtureData()
+    {
+        DatasetBuilder tb(netlist);
+        Xoshiro256StarStar rng(0xba5e);
+        for (int i = 0; i < 20; ++i)
+            tb.addProgram(
+                Program::makeLoop("t" + std::to_string(i),
+                                  GaGenerator::randomBody(rng, 6, 24),
+                                  4000, rng()),
+                300);
+        train = tb.build();
+
+        DatasetBuilder eb(netlist);
+        for (int i = 0; i < 5; ++i)
+            eb.addProgram(
+                Program::makeLoop("e" + std::to_string(i),
+                                  GaGenerator::randomBody(rng, 6, 24),
+                                  4000, rng()),
+                400);
+        test = eb.build();
+
+        for (size_t c = 0; c < netlist.signalCount(); ++c)
+            if (netlist.signal(c).kind == SignalKind::FlipFlop)
+                flipflops.push_back(static_cast<uint32_t>(c));
+    }
+};
+
+const BaselineFixtureData &
+fixture()
+{
+    static BaselineFixtureData data;
+    return data;
+}
+
+TEST(LassoBaseline, HitsTargetQAndPredictsReasonably)
+{
+    const auto &fx = fixture();
+    const BaselineResult res =
+        trainLassoBaseline(fx.train, fx.test, 30);
+    EXPECT_EQ(res.monitoredSignals, 30u);
+    EXPECT_EQ(res.proxyIds.size(), 30u);
+    EXPECT_EQ(res.testPred.size(), fx.test.cycles());
+    EXPECT_GT(r2Score(fx.test.y, res.testPred), 0.6);
+    EXPECT_GT(res.sumAbsWeights, 0.0);
+}
+
+TEST(LassoBaseline, UnderpredictsHighPowerCycles)
+{
+    // The over-shrunk Lasso model's hallmark: it systematically
+    // underestimates the top of the power range (the Fig. 13 bias).
+    const auto &fx = fixture();
+    const BaselineResult res =
+        trainLassoBaseline(fx.train, fx.test, 30);
+
+    // Mean prediction over the top-decile truth cycles.
+    std::vector<size_t> order(fx.test.cycles());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return fx.test.y[a] > fx.test.y[b];
+    });
+    const size_t top = fx.test.cycles() / 10;
+    double truth_top = 0.0;
+    double pred_top = 0.0;
+    for (size_t k = 0; k < top; ++k) {
+        truth_top += fx.test.y[order[k]];
+        pred_top += res.testPred[order[k]];
+    }
+    EXPECT_LT(pred_top, truth_top)
+        << "Lasso should shrink the high-power predictions";
+}
+
+TEST(SimmaniBaseline, RepresentativesAreDistinctSignals)
+{
+    const auto &fx = fixture();
+    SimmaniConfig cfg;
+    cfg.clusters = 24;
+    const BaselineResult res =
+        trainSimmaniBaseline(fx.train, fx.test, cfg);
+    EXPECT_LE(res.proxyIds.size(), 24u);
+    EXPECT_GE(res.proxyIds.size(), 12u);
+    std::set<uint32_t> unique(res.proxyIds.begin(), res.proxyIds.end());
+    EXPECT_EQ(unique.size(), res.proxyIds.size());
+    EXPECT_GT(r2Score(fx.test.y, res.testPred), 0.5);
+}
+
+TEST(SimmaniBaseline, MoreClustersHelp)
+{
+    const auto &fx = fixture();
+    SimmaniConfig small;
+    small.clusters = 8;
+    SimmaniConfig large;
+    large.clusters = 64;
+    const auto res_small =
+        trainSimmaniBaseline(fx.train, fx.test, small);
+    const auto res_large =
+        trainSimmaniBaseline(fx.train, fx.test, large);
+    EXPECT_LT(nrmse(fx.test.y, res_large.testPred),
+              nrmse(fx.test.y, res_small.testPred));
+}
+
+TEST(SimmaniBaseline, WindowedPredictionsAlignWithWindowLabels)
+{
+    const auto &fx = fixture();
+    const uint32_t window = 16;
+    SimmaniConfig cfg;
+    cfg.clusters = 24;
+    const BaselineResult res =
+        trainSimmaniWindowed(fx.train, fx.test, window, cfg);
+    const CountDataset agg = aggregateIntervals(fx.test, window);
+    ASSERT_EQ(res.testPred.size(), agg.intervals());
+    EXPECT_GT(r2Score(agg.y, res.testPred), 0.6);
+}
+
+TEST(PcaBaseline, UsesAllSignalsAndIsAccurate)
+{
+    const auto &fx = fixture();
+    const BaselineResult res = trainPcaBaseline(fx.train, fx.test, 16);
+    EXPECT_EQ(res.monitoredSignals, fx.train.signals());
+    EXPECT_GT(r2Score(fx.test.y, res.testPred), 0.85);
+}
+
+TEST(PcaBaseline, MoreComponentsHelp)
+{
+    const auto &fx = fixture();
+    const auto res4 = trainPcaBaseline(fx.train, fx.test, 4);
+    const auto res32 = trainPcaBaseline(fx.train, fx.test, 32);
+    EXPECT_LT(nrmse(fx.test.y, res32.testPred),
+              nrmse(fx.test.y, res4.testPred));
+}
+
+TEST(PrimalBaseline, UsesFlipflopsOnlyAndLearns)
+{
+    const auto &fx = fixture();
+    const BaselineResult res = trainPrimalNetBaseline(
+        fx.train, fx.test, fx.flipflops, /*epochs=*/6);
+    EXPECT_EQ(res.monitoredSignals, fx.flipflops.size());
+    EXPECT_GT(r2Score(fx.test.y, res.testPred), 0.7);
+    EXPECT_GT(res.trainSeconds, 0.0);
+}
+
+} // namespace
+} // namespace apollo

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Tests for the APOLLO core library: proxy selection, trainer
+ * (selection + relaxation), model serialization, and the multi-cycle
+ * APOLLO_tau model including the Eq. (9) rearrangement equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/apollo_trainer.hh"
+#include "core/multi_cycle.hh"
+#include "gen/ga_generator.hh"
+#include "ml/metrics.hh"
+#include "rtl/design_builder.hh"
+#include "trace/toggle_trace.hh"
+
+namespace apollo {
+namespace {
+
+using namespace asm_helpers;
+
+/** Shared tiny-design train/test datasets (built once). */
+struct CoreFixtureData
+{
+    Netlist netlist = DesignBuilder::build(DesignConfig::tiny());
+    Dataset train;
+    Dataset test;
+
+    CoreFixtureData()
+    {
+        DatasetBuilder tb(netlist);
+        Xoshiro256StarStar rng(0xc0de);
+        for (int i = 0; i < 24; ++i) {
+            auto body = GaGenerator::randomBody(rng, 6, 24);
+            tb.addProgram(Program::makeLoop("t" + std::to_string(i),
+                                            body, 3000, rng()),
+                          320);
+        }
+        train = tb.build();
+
+        DatasetBuilder eb(netlist);
+        for (int i = 0; i < 6; ++i) {
+            auto body = GaGenerator::randomBody(rng, 6, 24);
+            eb.addProgram(Program::makeLoop("e" + std::to_string(i),
+                                            body, 3000, rng()),
+                          512);
+        }
+        test = eb.build();
+    }
+};
+
+const CoreFixtureData &
+fixture()
+{
+    static CoreFixtureData data;
+    return data;
+}
+
+TEST(ProxySelector, HitsTargetQ)
+{
+    const auto &fx = fixture();
+    BitFeatureView view(fx.train.X);
+    ProxySelectorConfig cfg;
+    cfg.targetQ = 30;
+    const ProxySelection sel = selectProxies(view, fx.train.y, cfg);
+    EXPECT_EQ(sel.proxyIds.size(), 30u);
+    // Proxy ids ascend and are valid columns.
+    for (size_t i = 1; i < sel.proxyIds.size(); ++i)
+        EXPECT_LT(sel.proxyIds[i - 1], sel.proxyIds[i]);
+    EXPECT_LT(sel.proxyIds.back(), fx.train.signals());
+}
+
+TEST(ProxySelector, LassoKindSelectsToo)
+{
+    const auto &fx = fixture();
+    BitFeatureView view(fx.train.X);
+    ProxySelectorConfig cfg;
+    cfg.targetQ = 25;
+    cfg.kind = PenaltyKind::Lasso;
+    const ProxySelection sel = selectProxies(view, fx.train.y, cfg);
+    EXPECT_EQ(sel.proxyIds.size(), 25u);
+}
+
+TEST(ApolloTrainer, RelaxationImprovesAccuracy)
+{
+    // §4.4: the relaxed model must beat the raw (over-penalized)
+    // temporary MCP model on held-out data.
+    const auto &fx = fixture();
+    ApolloTrainConfig cfg;
+    cfg.selection.targetQ = 40;
+    const ApolloTrainResult res = trainApollo(fx.train, cfg, "tiny");
+    ASSERT_EQ(res.model.proxyCount(), 40u);
+
+    // Raw sparse-model predictions.
+    std::vector<float> raw_pred(fx.test.cycles(),
+        static_cast<float>(res.selection.sparseModel.intercept));
+    for (size_t j = 0; j < res.selection.sparseModel.w.size(); ++j)
+        if (res.selection.sparseModel.w[j] != 0.0f)
+            fx.test.X.axpyColumn(j, res.selection.sparseModel.w[j],
+                                 raw_pred.data());
+
+    const auto relaxed_pred = res.model.predictFull(fx.test.X);
+    const double r2_raw = r2Score(fx.test.y, raw_pred);
+    const double r2_relaxed = r2Score(fx.test.y, relaxed_pred);
+    EXPECT_GT(r2_relaxed, r2_raw);
+    EXPECT_GT(r2_relaxed, 0.9);
+}
+
+TEST(ApolloTrainer, AccuracyGrowsWithQ)
+{
+    const auto &fx = fixture();
+    double last_r2 = -1.0;
+    for (size_t q : {10, 40, 120}) {
+        ApolloTrainConfig cfg;
+        cfg.selection.targetQ = q;
+        const auto res = trainApollo(fx.train, cfg, "tiny");
+        const auto pred = res.model.predictFull(fx.test.X);
+        const double r2 = r2Score(fx.test.y, pred);
+        EXPECT_GT(r2, last_r2) << "Q=" << q;
+        last_r2 = r2;
+    }
+    EXPECT_GT(last_r2, 0.95);
+}
+
+TEST(ApolloTrainer, SelectionSubsampleStillWorks)
+{
+    const auto &fx = fixture();
+    ApolloTrainConfig cfg;
+    cfg.selection.targetQ = 40;
+    cfg.selectionCycleCap = fx.train.cycles() / 3;
+    const auto res = trainApollo(fx.train, cfg, "tiny");
+    const auto pred = res.model.predictFull(fx.test.X);
+    EXPECT_GT(r2Score(fx.test.y, pred), 0.9);
+}
+
+TEST(ApolloModel, PredictProxiesMatchesPredictFull)
+{
+    const auto &fx = fixture();
+    ApolloTrainConfig cfg;
+    cfg.selection.targetQ = 25;
+    const auto res = trainApollo(fx.train, cfg, "tiny");
+
+    const BitColumnMatrix proxy_only =
+        fx.test.X.selectColumns(res.model.proxyIds);
+    const auto a = res.model.predictFull(fx.test.X);
+    const auto b = res.model.predictProxies(proxy_only);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        ASSERT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(ApolloModel, SaveLoadRoundTrip)
+{
+    const auto &fx = fixture();
+    ApolloTrainConfig cfg;
+    cfg.selection.targetQ = 15;
+    const auto res = trainApollo(fx.train, cfg, "tiny-design");
+
+    std::stringstream ss;
+    res.model.save(ss);
+    const ApolloModel loaded = ApolloModel::load(ss);
+    EXPECT_EQ(loaded.designName, "tiny-design");
+    EXPECT_EQ(loaded.proxyIds, res.model.proxyIds);
+    EXPECT_NEAR(loaded.intercept, res.model.intercept, 1e-9);
+    ASSERT_EQ(loaded.weights.size(), res.model.weights.size());
+    for (size_t q = 0; q < loaded.weights.size(); ++q)
+        EXPECT_FLOAT_EQ(loaded.weights[q], res.model.weights[q]);
+}
+
+TEST(RelaxProxySet, WorksOnArbitrarySets)
+{
+    const auto &fx = fixture();
+    std::vector<uint32_t> ids = {5, 100, 321, 700, 1100};
+    const auto res = relaxProxySet(fx.train, ids, ApolloTrainConfig{});
+    EXPECT_EQ(res.model.proxyIds, ids);
+    // Low-Q model: not great, but should beat the mean predictor.
+    const auto pred = res.model.predictFull(fx.test.X);
+    EXPECT_GT(r2Score(fx.test.y, pred), 0.0);
+}
+
+TEST(MultiCycle, Eq9RearrangementIsExact)
+{
+    // The hardware-friendly inference (per-cycle accumulate, shift at
+    // the window end) must equal the textbook form (average the
+    // tau-interval predictions) bit-for-float.
+    const auto &fx = fixture();
+    const uint32_t tau = 4;
+    const uint32_t T = 16;
+    ApolloTrainConfig cfg;
+    cfg.selection.targetQ = 20;
+    const MultiCycleModel model =
+        trainMultiCycle(fx.train, tau, cfg, "tiny");
+    ASSERT_EQ(model.tau, tau);
+
+    const auto hw = model.predictWindowsFull(fx.test.X, T,
+                                             fx.test.segments);
+
+    // Textbook: average the tau-interval model outputs within each T
+    // window, computed via interval aggregation.
+    const CountDataset agg = aggregateIntervals(fx.test, tau);
+    std::vector<float> textbook;
+    const float scale = 1.0f / tau;
+    for (const auto &seg : agg.segments) {
+        const size_t per_window = T / tau;
+        const size_t windows = seg.cycles() / per_window;
+        for (size_t w = 0; w < windows; ++w) {
+            double acc = 0.0;
+            for (size_t k = 0; k < per_window; ++k) {
+                const size_t interval = seg.begin + w * per_window + k;
+                double p = model.base.intercept;
+                for (size_t q = 0; q < model.base.proxyCount(); ++q)
+                    p += model.base.weights[q] * scale *
+                         agg.X.get(interval, model.base.proxyIds[q]);
+                acc += p;
+            }
+            textbook.push_back(
+                static_cast<float>(acc / per_window));
+        }
+    }
+
+    ASSERT_EQ(hw.size(), textbook.size());
+    for (size_t i = 0; i < hw.size(); ++i)
+        EXPECT_NEAR(hw[i], textbook[i], 2e-3 + 1e-3 * std::abs(hw[i]))
+            << "window " << i;
+}
+
+TEST(MultiCycle, WindowLabelsMatchManualAverages)
+{
+    const auto &fx = fixture();
+    const uint32_t T = 8;
+    const auto labels = windowAverageLabels(fx.test.y, T,
+                                            fx.test.segments);
+    // First window of the first segment by hand.
+    double acc = 0.0;
+    for (uint32_t t = 0; t < T; ++t)
+        acc += fx.test.y[fx.test.segments[0].begin + t];
+    EXPECT_NEAR(labels[0], acc / T, 1e-5);
+}
+
+TEST(MultiCycle, TauEightBeatsExtremesAtLargeT)
+{
+    // Fig. 11's central claim: an intermediate tau beats both tau=1
+    // (average of per-cycle predictions) and tau=T (averaged inputs)
+    // for large windows. We check tau=8 is at least as good as the
+    // worse of the two extremes minus tolerance (ordering of the best
+    // extreme can wobble at tiny scale).
+    const auto &fx = fixture();
+    const uint32_t T = 32;
+    ApolloTrainConfig cfg;
+    cfg.selection.targetQ = 24;
+
+    const auto labels = windowAverageLabels(fx.test.y, T,
+                                            fx.test.segments);
+    auto nrmse_for = [&](uint32_t tau) {
+        const MultiCycleModel m =
+            trainMultiCycle(fx.train, tau, cfg, "tiny");
+        const auto pred =
+            m.predictWindowsFull(fx.test.X, T, fx.test.segments);
+        return nrmse(labels, pred);
+    };
+    const double e1 = nrmse_for(1);
+    const double e8 = nrmse_for(8);
+    const double eT = nrmse_for(T);
+    // At this tiny scale the ordering between the three is noisy (the
+    // tau=8 selection sees 8x fewer samples); the Fig. 11 bench
+    // measures the real ordering at N1 scale. Here we only require
+    // tau=8 to be competitive and all variants to be accurate.
+    EXPECT_LT(e8, 1.35 * std::min(e1, eT));
+    EXPECT_LT(e8, 0.1);
+    EXPECT_LT(e1, 0.1);
+    EXPECT_LT(eT, 0.1);
+}
+
+} // namespace
+} // namespace apollo

@@ -1,0 +1,337 @@
+/**
+ * @file
+ * apollo — command-line driver for the whole framework, so each stage
+ * of the paper's flow (Fig. 2) can be run and inspected as a separate
+ * artifact-producing step:
+ *
+ *   apollo gen-data  --design n1ish --out train.apds [--ga] ...
+ *   apollo gen-test  --design n1ish --out test.apds
+ *   apollo train     --data train.apds --q 159 --out model.txt
+ *   apollo eval      --model model.txt --data test.apds
+ *   apollo opm       --model model.txt --design n1ish --bits 10
+ *                    [--window 32] [--emit opm.hh]
+ *   apollo trace     --model model.txt --design n1ish --cycles 1000000
+ *                    [--out trace.csv]
+ *
+ * Run `apollo help` for the full usage text.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "core/apollo_trainer.hh"
+#include "flow/flows.hh"
+#include "gen/ga_generator.hh"
+#include "gen/test_suite.hh"
+#include "ml/metrics.hh"
+#include "opm/hls_emitter.hh"
+#include "opm/opm_hardware.hh"
+#include "opm/opm_simulator.hh"
+#include "rtl/design_builder.hh"
+#include "trace/dataset_io.hh"
+#include "trace/toggle_trace.hh"
+#include "util/logging.hh"
+
+using namespace apollo;
+
+namespace {
+
+/** Tiny flag parser: --key value pairs after the subcommand. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i + 1 < argc; i += 2) {
+            APOLLO_REQUIRE(std::strncmp(argv[i], "--", 2) == 0,
+                           "expected --flag, got ", argv[i]);
+            values_[argv[i] + 2] = argv[i + 1];
+        }
+        if ((argc - first) % 2 != 0)
+            fatal("dangling flag: ", argv[argc - 1]);
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    long
+    getInt(const std::string &key, long fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback
+                                   : std::stol(it->second);
+    }
+
+    bool
+    getBool(const std::string &key) const
+    {
+        const std::string v = get(key, "0");
+        return v == "1" || v == "true" || v == "yes";
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+DesignConfig
+designByName(const std::string &name)
+{
+    if (name == "tiny")
+        return DesignConfig::tiny();
+    if (name == "n1ish")
+        return DesignConfig::neoverseN1ish();
+    if (name == "a77ish")
+        return DesignConfig::cortexA77ish();
+    fatal("unknown design '", name, "' (tiny | n1ish | a77ish)");
+}
+
+int
+cmdGenData(const Args &args)
+{
+    const Netlist netlist =
+        DesignBuilder::build(designByName(args.get("design", "tiny")));
+    const auto n_benchmarks =
+        static_cast<size_t>(args.getInt("benchmarks", 30));
+    const auto cycles =
+        static_cast<uint64_t>(args.getInt("cycles", 400));
+    const std::string out = args.get("out", "train.apds");
+
+    DatasetBuilder builder(netlist);
+    if (args.getBool("ga")) {
+        std::fprintf(stderr, "running the GA generator...\n");
+        DatasetBuilder fitness(netlist);
+        GaConfig ga_cfg;
+        ga_cfg.populationSize =
+            static_cast<uint32_t>(args.getInt("population", 24));
+        ga_cfg.generations =
+            static_cast<uint32_t>(args.getInt("generations", 8));
+        ga_cfg.fitnessSignalStride = 4;
+        GaGenerator ga(fitness, ga_cfg);
+        ga.run();
+        std::fprintf(stderr, "GA power range ratio: %.2fx\n",
+                     ga.powerRangeRatio());
+        int idx = 0;
+        for (const GaIndividual &ind :
+             ga.selectTrainingSet(n_benchmarks))
+            builder.addProgram(GaGenerator::toProgram(
+                                   ind,
+                                   "ga" + std::to_string(idx++), 8000),
+                               cycles);
+    } else {
+        Xoshiro256StarStar rng(
+            static_cast<uint64_t>(args.getInt("seed", 42)));
+        for (size_t i = 0; i < n_benchmarks; ++i) {
+            builder.addProgram(
+                Program::makeLoop("rand" + std::to_string(i),
+                                  GaGenerator::randomBody(rng, 6, 26),
+                                  8000, rng()),
+                cycles);
+        }
+    }
+    const Dataset ds = builder.build();
+    saveDatasetFile(out, ds);
+    std::printf("wrote %s: %zu cycles x %zu signals (%zu benchmarks, "
+                "mean power %.4f)\n",
+                out.c_str(), ds.cycles(), ds.signals(),
+                ds.segments.size(), ds.meanLabel());
+    return 0;
+}
+
+int
+cmdGenTest(const Args &args)
+{
+    const Netlist netlist =
+        DesignBuilder::build(designByName(args.get("design", "tiny")));
+    const std::string out = args.get("out", "test.apds");
+    DatasetBuilder builder(netlist);
+    for (const TestBenchmark &bench : designerTestSuite())
+        builder.addProgram(bench.program, bench.cycles, bench.throttle);
+    const Dataset ds = builder.build();
+    saveDatasetFile(out, ds);
+    std::printf("wrote %s: the 12 designer benchmarks, %zu cycles\n",
+                out.c_str(), ds.cycles());
+    return 0;
+}
+
+int
+cmdTrain(const Args &args)
+{
+    const Dataset train =
+        loadDatasetFile(args.get("data", "train.apds"));
+    const std::string out = args.get("out", "model.txt");
+
+    ApolloTrainConfig cfg;
+    cfg.selection.targetQ = static_cast<size_t>(args.getInt("q", 159));
+    cfg.selection.gamma =
+        static_cast<double>(args.getInt("gamma", 10));
+    if (args.getBool("lasso"))
+        cfg.selection.kind = PenaltyKind::Lasso;
+
+    const ApolloTrainResult res =
+        trainApollo(train, cfg, args.get("design-name", "design"));
+    std::ofstream os(out);
+    res.model.save(os);
+    std::printf("trained Q=%zu model in %.1fs selection + %.1fs "
+                "relaxation (lambda=%.5g); wrote %s\n",
+                res.model.proxyCount(), res.selectSeconds,
+                res.relaxSeconds, res.selection.diagnostics.lambda,
+                out.c_str());
+    return 0;
+}
+
+int
+cmdEval(const Args &args)
+{
+    std::ifstream is(args.get("model", "model.txt"));
+    APOLLO_REQUIRE(is.is_open(), "cannot open model file");
+    const ApolloModel model = ApolloModel::load(is);
+    const Dataset test = loadDatasetFile(args.get("data", "test.apds"));
+
+    const auto pred = model.predictFull(test.X);
+    std::printf("%-16s %8s %8s %8s\n", "benchmark", "NRMSE", "NMAE",
+                "mean");
+    for (const SegmentInfo &seg : test.segments) {
+        std::vector<float> y(test.y.begin() + seg.begin,
+                             test.y.begin() + seg.end);
+        std::vector<float> p(pred.begin() + seg.begin,
+                             pred.begin() + seg.end);
+        std::printf("%-16s %7.2f%% %7.2f%% %8.4f\n", seg.name.c_str(),
+                    100.0 * nrmse(y, p), 100.0 * nmae(y, p), mean(y));
+    }
+    std::printf("overall: R2=%.4f NRMSE=%.2f%% NMAE=%.2f%% (Q=%zu)\n",
+                r2Score(test.y, pred), 100.0 * nrmse(test.y, pred),
+                100.0 * nmae(test.y, pred), model.proxyCount());
+    return 0;
+}
+
+int
+cmdOpm(const Args &args)
+{
+    std::ifstream is(args.get("model", "model.txt"));
+    APOLLO_REQUIRE(is.is_open(), "cannot open model file");
+    const ApolloModel model = ApolloModel::load(is);
+    const Netlist netlist =
+        DesignBuilder::build(designByName(args.get("design", "tiny")));
+    const auto bits = static_cast<uint32_t>(args.getInt("bits", 10));
+    const auto window =
+        static_cast<uint32_t>(args.getInt("window", 32));
+
+    const QuantizedModel qm = quantizeModel(model, bits);
+    const OpmHardwareReport rep =
+        analyzeOpmHardware(netlist, qm, window, 0.15);
+    std::printf("OPM configuration: Q=%zu, B=%u, T=%u\n",
+                qm.proxyCount(), bits, window);
+    std::printf("area: %.0f GE (interface %.0f, compute %.0f, "
+                "accumulate %.0f, routing %.0f) = %.3f%% of core\n",
+                rep.totalGE, rep.interfaceGE, rep.computeGE,
+                rep.accumGE, rep.routingGE, 100.0 * rep.areaOverhead);
+    std::printf("power overhead: %.2f%% (logic %.2f%% + routing "
+                "%.2f%%); latency %u cycles\n",
+                100.0 * rep.totalPowerOverhead,
+                100.0 * rep.logicPowerOverhead,
+                100.0 * rep.routingPowerOverhead, rep.latencyCycles);
+
+    const std::string emit = args.get("emit");
+    if (!emit.empty()) {
+        std::ofstream os(emit);
+        os << emitOpmHlsSource(qm, window);
+        std::printf("wrote HLS-style OPM source to %s\n", emit.c_str());
+    }
+    return 0;
+}
+
+int
+cmdTrace(const Args &args)
+{
+    std::ifstream is(args.get("model", "model.txt"));
+    APOLLO_REQUIRE(is.is_open(), "cannot open model file");
+    const ApolloModel model = ApolloModel::load(is);
+    const Netlist netlist =
+        DesignBuilder::build(designByName(args.get("design", "tiny")));
+    const auto cycles =
+        static_cast<uint64_t>(args.getInt("cycles", 100000));
+
+    DesignTimeFlows flows(netlist);
+    const Program workload = makeLongWorkload(
+        "workload", cycles * 2,
+        static_cast<uint64_t>(args.getInt("seed", 9)));
+    const FlowReport rep =
+        flows.runEmulatorFlow(workload, cycles, model);
+    std::printf("emulator-assisted trace: %llu cycles in %.2fs "
+                "(%.0f kcycles/s), %.2f MB proxy trace\n",
+                static_cast<unsigned long long>(rep.cycles),
+                rep.totalSeconds(),
+                rep.cycles / rep.totalSeconds() / 1e3,
+                rep.traceBytes / 1e6);
+
+    const std::string out = args.get("out");
+    if (!out.empty()) {
+        std::ofstream os(out);
+        os << "cycle,power\n";
+        for (size_t i = 0; i < rep.power.size(); ++i)
+            os << i << "," << rep.power[i] << "\n";
+        std::printf("wrote per-cycle power to %s\n", out.c_str());
+    }
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "apollo — APOLLO power-modeling framework CLI\n\n"
+        "subcommands:\n"
+        "  gen-data --design D --out F [--ga 1] [--benchmarks N]\n"
+        "           [--cycles C] [--seed S]     generate training data\n"
+        "  gen-test --design D --out F          designer test suite\n"
+        "  train    --data F --q Q --out F      MCP select + relax\n"
+        "           [--gamma G] [--lasso 1]\n"
+        "  eval     --model F --data F          per-benchmark metrics\n"
+        "  opm      --model F --design D        quantize + HW report\n"
+        "           [--bits B] [--window T] [--emit F]\n"
+        "  trace    --model F --design D        emulator-assisted flow\n"
+        "           [--cycles N] [--out F]\n"
+        "designs: tiny | n1ish | a77ish\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || std::strcmp(argv[1], "help") == 0 ||
+        std::strcmp(argv[1], "--help") == 0) {
+        usage();
+        return argc < 2 ? 1 : 0;
+    }
+    const std::string cmd = argv[1];
+    try {
+        Args args(argc, argv, 2);
+        if (cmd == "gen-data")
+            return cmdGenData(args);
+        if (cmd == "gen-test")
+            return cmdGenTest(args);
+        if (cmd == "train")
+            return cmdTrain(args);
+        if (cmd == "eval")
+            return cmdEval(args);
+        if (cmd == "opm")
+            return cmdOpm(args);
+        if (cmd == "trace")
+            return cmdTrace(args);
+        std::fprintf(stderr, "unknown subcommand '%s'\n", cmd.c_str());
+        usage();
+        return 1;
+    } catch (const std::exception &err) {
+        std::fprintf(stderr, "error: %s\n", err.what());
+        return 1;
+    }
+}
