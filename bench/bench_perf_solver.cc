@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Solver perf bench: times the design-time bottleneck — an MCP
+ * target-Q path solve (`solveForTargetQ`, the per-point workhorse of
+ * the Fig. 10/12/15(b) Q sweeps) — on N1ish-sized synthetic toggle
+ * data, with the three optimization layers toggled individually:
+ *
+ *   baseline         per-bit scalar kernels, virtual dispatch, no
+ *                    screening, serial column passes (the seed solver)
+ *   +kernels         word-at-a-time packed-bit kernels + devirtualized
+ *                    sweep loop
+ *   +screen          strong-rule screening with KKT re-admission
+ *   +parallel (all)  column passes fanned over the thread pool
+ *
+ * All configurations must select the identical proxy support. Results
+ * (wall-clock, cumulative sweeps, KKT passes) are written to
+ * BENCH_solver.json so future PRs can track the trajectory.
+ *
+ * Usage: bench_perf_solver [--smoke] [--reps=N] [--out=PATH]
+ * (--smoke: tiny problem + relaxed timing gate; used by the `perf`
+ * ctest label to catch kernel/screening regressions.)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ml/solver_path.hh"
+#include "util/bitvec.hh"
+#include "util/rng.hh"
+
+using namespace apollo;
+
+namespace {
+
+/**
+ * N1ish-shaped toggle matrix: column densities spanning rare control
+ * toggles (~2%) up to hot gated-clock nets (~75%), generated a word at
+ * a time (AND-ing k random words gives rate 2^-k; OR-ing two gives
+ * 3/4).
+ */
+BitColumnMatrix
+makeToggleMatrix(size_t n, size_t m, uint64_t seed)
+{
+    BitColumnMatrix X(n, m);
+    Xoshiro256StarStar rng(seed);
+    const size_t wpc = X.wordsPerCol();
+    const uint64_t tail_mask =
+        (n & 63) ? ((1ULL << (n & 63)) - 1) : ~0ULL;
+    for (size_t c = 0; c < m; ++c) {
+        uint64_t *w = X.colWordsMutable(c);
+        const double u = rng.nextDouble();
+        int ands = 0; // rate 2^-(ands+1)
+        bool dense = false;
+        if (u < 0.02)
+            dense = true; // ~0.75
+        else if (u < 0.07)
+            ands = 0; // 0.5
+        else if (u < 0.27)
+            ands = 1; // 0.25
+        else if (u < 0.55)
+            ands = 2; // 0.125
+        else if (u < 0.80)
+            ands = 3; // 0.0625
+        else if (u < 0.93)
+            ands = 4; // 0.031
+        else
+            ands = 5; // 0.016
+        for (size_t k = 0; k < wpc; ++k) {
+            uint64_t word = rng();
+            if (dense)
+                word |= rng();
+            for (int t = 0; t < ands; ++t)
+                word &= rng();
+            w[k] = word;
+        }
+        w[wpc - 1] &= tail_mask;
+    }
+    return X;
+}
+
+/** Planted sparse power model over the toggles, with noise. */
+std::vector<float>
+makeLabels(const BitColumnMatrix &X, size_t planted, uint64_t seed)
+{
+    Xoshiro256StarStar rng(seed);
+    std::vector<float> y(X.rows(), 2.0f);
+    for (size_t p = 0; p < planted; ++p) {
+        const auto j = static_cast<size_t>(p * X.cols() / planted);
+        const auto wj =
+            static_cast<float>(0.4 + 1.6 * rng.nextDouble());
+        X.axpyColumn(j, wj, y.data());
+    }
+    for (float &v : y)
+        v += static_cast<float>(0.05 * rng.nextGaussian());
+    return y;
+}
+
+struct LayerConfig
+{
+    const char *name;
+    bool fastKernels;
+    bool screen;
+    bool parallel;
+};
+
+struct RunStats
+{
+    std::string name;
+    double seconds = 0.0;
+    TargetQDiagnostics diag;
+    std::vector<uint32_t> support;
+    bool supportMatch = true;
+};
+
+RunStats
+runConfig(const LayerConfig &layer, const BitColumnMatrix &X,
+          const std::vector<float> &y, size_t q, int reps)
+{
+    RunStats stats;
+    stats.name = layer.name;
+    stats.seconds = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+        BitFeatureView fast_view(X);
+        ScalarBitFeatureView scalar_view(X);
+        const FeatureView &view =
+            layer.fastKernels
+                ? static_cast<const FeatureView &>(fast_view)
+                : static_cast<const FeatureView &>(scalar_view);
+
+        CdConfig cd;
+        cd.penalty.kind = PenaltyKind::Mcp;
+        cd.penalty.gamma = 10.0;
+        cd.maxSweeps = 250;
+        cd.screen = layer.screen;
+
+        const auto t0 = std::chrono::steady_clock::now();
+        // Solver construction (column norms) and lambdaMax are part of
+        // the per-selection cost and are included in the timing.
+        CdSolver solver(view, y, {.parallel = layer.parallel});
+        TargetQDiagnostics diag;
+        const CdResult fit = solveForTargetQ(solver, cd, q, &diag);
+        const double secs =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        if (secs < stats.seconds) {
+            stats.seconds = secs;
+            stats.diag = diag;
+        }
+        if (rep == 0)
+            stats.support = fit.support();
+    }
+    return stats;
+}
+
+void
+writeJson(const std::string &path, const char *mode, size_t n, size_t m,
+          size_t q, const std::vector<RunStats> &runs, double speedup)
+{
+    std::ofstream os(path);
+    os << "{\n";
+    os << "  \"bench\": \"solver_path\",\n";
+    os << "  \"mode\": \"" << mode << "\",\n";
+    os << "  \"n\": " << n << ",\n  \"m\": " << m << ",\n  \"q\": " << q
+       << ",\n";
+    os << "  \"configs\": [\n";
+    for (size_t i = 0; i < runs.size(); ++i) {
+        const RunStats &r = runs[i];
+        os << "    {\"name\": \"" << r.name << "\", \"seconds\": "
+           << r.seconds << ", \"total_sweeps\": " << r.diag.totalSweeps
+           << ", \"kkt_passes\": " << r.diag.totalKktPasses
+           << ", \"kkt_dots\": " << r.diag.totalKktDots
+           << ", \"path_points\": " << r.diag.pathPoints
+           << ", \"bisections\": " << r.diag.bisections
+           << ", \"nonzeros\": " << r.support.size()
+           << ", \"support_matches_baseline\": "
+           << (r.supportMatch ? "true" : "false") << "}"
+           << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"speedup_all_vs_baseline\": " << speedup << "\n";
+    os << "}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    int reps = 1;
+    std::string out = "BENCH_solver.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else if (std::strncmp(argv[i], "--reps=", 7) == 0)
+            reps = std::atoi(argv[i] + 7);
+        else if (std::strncmp(argv[i], "--out=", 6) == 0)
+            out = argv[i] + 6;
+    }
+
+    // N1ish-sized: ~24k candidate signals, Q at the paper's Fig. 10
+    // operating point. Smoke mode shrinks everything so the perf ctest
+    // label stays fast.
+    const size_t n = smoke ? 2500 : 12000;
+    const size_t m = smoke ? 2000 : 24000;
+    const size_t q = smoke ? 48 : 159;
+
+    std::printf("bench_perf_solver: n=%zu m=%zu q=%zu reps=%d%s\n", n, m,
+                q, reps, smoke ? " [smoke]" : "");
+    const BitColumnMatrix X = makeToggleMatrix(n, m, 0xa9011c);
+    const std::vector<float> y = makeLabels(X, m / 80 + 8, 0x5eed);
+
+    const LayerConfig layers[] = {
+        {"baseline", false, false, false},
+        {"kernels", true, false, false},
+        {"kernels+screen", true, true, false},
+        {"all", true, true, true},
+    };
+
+    std::vector<RunStats> runs;
+    for (const LayerConfig &layer : layers) {
+        RunStats stats = runConfig(layer, X, y, q, reps);
+        if (!runs.empty())
+            stats.supportMatch = stats.support == runs.front().support;
+        std::printf("  %-16s %8.3fs  sweeps=%-6zu kkt=%-4zu dots=%-7zu "
+                    "points=%zu+%zu  nnz=%zu%s\n",
+                    stats.name.c_str(), stats.seconds,
+                    stats.diag.totalSweeps, stats.diag.totalKktPasses,
+                    stats.diag.totalKktDots, stats.diag.pathPoints,
+                    stats.diag.bisections, stats.support.size(),
+                    stats.supportMatch ? "" : "  SUPPORT MISMATCH");
+        runs.push_back(std::move(stats));
+    }
+
+    const double speedup = runs.front().seconds / runs.back().seconds;
+    std::printf("speedup (all vs baseline): %.2fx\n", speedup);
+    writeJson(out, smoke ? "smoke" : "full", n, m, q, runs, speedup);
+    std::printf("wrote %s\n", out.c_str());
+
+    bool ok = true;
+    for (const RunStats &r : runs)
+        ok = ok && r.supportMatch;
+    if (!ok) {
+        std::fprintf(stderr, "FAIL: optimized configurations changed "
+                             "the selected support\n");
+        return 1;
+    }
+    // Timing gate: generous in smoke mode (shared CI machines), the
+    // paper-trajectory target in full mode.
+    const double floor = smoke ? 1.0 : 3.0;
+    if (speedup < floor) {
+        std::fprintf(stderr, "FAIL: speedup %.2fx below %.1fx floor\n",
+                     speedup, floor);
+        return 1;
+    }
+    return 0;
+}

@@ -53,7 +53,8 @@ relaxOnColumns(const FeatureView &X_sel, std::span<const float> y,
     cd.penalty.nonneg = config.relaxNonneg;
     cd.maxSweeps = config.relaxMaxSweeps;
     cd.tol = config.relaxTol;
-    CdSolver solver(X_sel, y);
+    CdSolver solver(X_sel, y,
+                    {.parallel = config.selection.parallel});
     return solver.fit(cd);
 }
 

@@ -19,8 +19,9 @@ selectProxies(const FeatureView &X, std::span<const float> y,
     cd.penalty.nonneg = config.nonneg;
     cd.maxSweeps = config.maxSweeps;
     cd.tol = config.tol;
+    cd.screen = config.screen;
 
-    CdSolver solver(X, y);
+    CdSolver solver(X, y, {.parallel = config.parallel});
 
     ProxySelection selection;
     selection.sparseModel =

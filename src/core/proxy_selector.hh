@@ -32,6 +32,14 @@ struct ProxySelectorConfig
     bool nonneg = false;
     uint32_t maxSweeps = 250;
     double tol = 1e-4;
+    /**
+     * Strong-rule screening in the CD solver (exact — rejected columns
+     * are KKT-verified and re-admitted on violation). Disable to force
+     * the reference full-sweep path.
+     */
+    bool screen = true;
+    /** Fan per-column gradient/norm passes over the shared pool. */
+    bool parallel = true;
 };
 
 /** Selection output: the proxies and the temporary (pruned) model. */

@@ -3,9 +3,29 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/bitvec_kernels.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace apollo {
+
+namespace {
+
+/** Below this many live columns, screening/parallel overheads exceed
+ *  the sweep cost they save. */
+constexpr size_t kScreenMinCols = 64;
+constexpr size_t kParallelMinCols = 128;
+
+/**
+ * Relative slack applied to the Cauchy-Schwarz certification bound so
+ * rounding in the cached gradients / norms can never certify a column
+ * that a freshly computed gradient would flag. Orders of magnitude
+ * above the actual double rounding error, orders below any useful
+ * screening margin.
+ */
+constexpr double kBoundSlack = 1.0 + 1e-8;
+
+} // namespace
 
 size_t
 CdResult::nonzeros() const
@@ -28,55 +48,168 @@ CdResult::support() const
 }
 
 CdSolver::CdSolver(const FeatureView &X, std::span<const float> y)
-    : X_(X), y_(y)
+    : CdSolver(X, y, Options())
+{}
+
+CdSolver::CdSolver(const FeatureView &X, std::span<const float> y,
+                   Options options)
+    : X_(X), y_(y), parallel_(options.parallel),
+      pool_(options.pool ? options.pool : &ThreadPool::global())
 {
     APOLLO_REQUIRE(X.rows() == y.size(), "rows/labels mismatch");
     APOLLO_REQUIRE(X.rows() > 1, "need at least two samples");
     const size_t n = X.rows();
     const size_t m = X.cols();
+
     a_.resize(m);
+    xNorm_.resize(m);
+    colSum_.resize(m);
+    auto norms = [&](size_t begin, size_t end) {
+        for (size_t j = begin; j < end; ++j) {
+            const double ss = X.sumSquares(j);
+            a_[j] = ss / static_cast<double>(n);
+            xNorm_[j] = std::sqrt(ss);
+            colSum_[j] = X.sum(j);
+        }
+    };
+    if (parallel_ && m >= kParallelMinCols)
+        pool_->parallelFor(m, norms);
+    else
+        norms(0, m);
+
     live_.reserve(m);
-    for (size_t j = 0; j < m; ++j) {
-        a_[j] = X.sumSquares(j) / static_cast<double>(n);
+    for (size_t j = 0; j < m; ++j)
         if (a_[j] > 0.0)
             live_.push_back(static_cast<uint32_t>(j));
-    }
-    // std(y) scales the convergence tolerance.
+
+    // Label mean/std (std(y) scales the convergence tolerance) and the
+    // centered copy every path driver needs.
     double mu = 0.0;
     for (float v : y)
         mu += v;
     mu /= static_cast<double>(n);
+    yMean_ = mu;
+    yCentered_.resize(n);
     double var = 0.0;
-    for (float v : y)
-        var += (v - mu) * (v - mu);
+    for (size_t i = 0; i < n; ++i) {
+        const double d = y[i] - mu;
+        yCentered_[i] = static_cast<float>(d);
+        var += d * d;
+    }
     yStd_ = std::sqrt(var / static_cast<double>(n));
     if (yStd_ <= 0.0)
         yStd_ = 1.0;
 }
 
+void
+CdSolver::columnGradients(std::span<const uint32_t> cols, const float *r,
+                          double *out) const
+{
+    if (cols.empty())
+        return;
+    auto body = [&](size_t begin, size_t end) {
+        X_.dotColumns(cols.subspan(begin, end - begin), r, out + begin);
+    };
+    if (parallel_ && cols.size() >= kParallelMinCols)
+        pool_->parallelFor(cols.size(), body);
+    else
+        body(0, cols.size());
+}
+
+void
+CdSolver::columnGradientsFast(std::span<const uint32_t> cols,
+                              const float *r, double *out) const
+{
+    if (cols.empty())
+        return;
+    auto body = [&](size_t begin, size_t end) {
+        X_.dotColumnsFast(cols.subspan(begin, end - begin), r,
+                          out + begin);
+    };
+    if (parallel_ && cols.size() >= kParallelMinCols)
+        pool_->parallelFor(cols.size(), body);
+    else
+        body(0, cols.size());
+}
+
+void
+CdSolver::bootstrapGradCache(const std::vector<float> &r)
+{
+    const size_t m = X_.cols();
+    cachedDot_.assign(m, 0.0);
+    anchorMean_.assign(m, 0.0);
+    anchorDrift_.assign(m, 0.0);
+    meanAcc_ = 0.0;
+    driftAcc_ = 0.0;
+    lastResidual_.assign(r.begin(), r.end());
+    gradBuf_.resize(live_.size());
+    columnGradients(live_, r.data(), gradBuf_.data());
+    for (size_t k = 0; k < live_.size(); ++k)
+        cachedDot_[live_[k]] = gradBuf_[k];
+    pendingDrift_ = 0.0;
+    gradCacheValid_ = true;
+}
+
+void
+CdSolver::advanceDriftAccount(const std::vector<float> &r)
+{
+    const size_t n = r.size();
+    double s1 = 0.0;
+    double s2 = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double d =
+            static_cast<double>(r[i]) - lastResidual_[i];
+        s1 += d;
+        s2 += d * d;
+    }
+    const double mean = s1 / static_cast<double>(n);
+    meanAcc_ += mean;
+    driftAcc_ += std::sqrt(
+        std::max(0.0, s2 - mean * mean * static_cast<double>(n)));
+    pendingDrift_ = 0.0;
+    lastResidual_.assign(r.begin(), r.end());
+}
+
+double
+CdSolver::certBound(uint32_t j) const
+{
+    const double center =
+        cachedDot_[j] + (meanAcc_ - anchorMean_[j]) * colSum_[j];
+    return (std::abs(center) +
+            xNorm_[j] * (driftAcc_ - anchorDrift_[j])) *
+           kBoundSlack;
+}
+
+void
+CdSolver::anchorColumns(std::span<const uint32_t> cols,
+                        const double *dots, double extraDrift)
+{
+    const double anchor_drift = driftAcc_ - extraDrift;
+    for (size_t k = 0; k < cols.size(); ++k) {
+        const uint32_t j = cols[k];
+        cachedDot_[j] = dots[k];
+        anchorMean_[j] = meanAcc_;
+        anchorDrift_[j] = anchor_drift;
+    }
+}
+
 double
 CdSolver::lambdaMax() const
 {
-    const size_t n = X_.rows();
-    double mu = 0.0;
-    for (float v : y_)
-        mu += v;
-    mu /= static_cast<double>(n);
-
-    std::vector<float> centered(n);
-    for (size_t i = 0; i < n; ++i)
-        centered[i] = static_cast<float>(y_[i] - mu);
-
+    if (lambdaMax_ >= 0.0)
+        return lambdaMax_;
+    const auto n = static_cast<double>(X_.rows());
+    std::vector<double> g(live_.size());
+    columnGradients(live_, yCentered_.data(), g.data());
     double best = 0.0;
-    for (uint32_t j : live_)
-        best = std::max(best,
-                        std::abs(X_.dot(j, centered.data())) /
-                            static_cast<double>(n));
+    for (double v : g)
+        best = std::max(best, std::abs(v) / n);
+    lambdaMax_ = best;
     return best;
 }
 
 void
-CdSolver::updateIntercept(std::vector<float> &r, double &intercept) const
+CdSolver::updateIntercept(std::vector<float> &r, double &intercept)
 {
     double mu = 0.0;
     for (float v : r)
@@ -86,22 +219,36 @@ CdSolver::updateIntercept(std::vector<float> &r, double &intercept) const
     const auto muf = static_cast<float>(mu);
     for (float &v : r)
         v -= muf;
+    pendingDrift_ +=
+        std::abs(mu) * std::sqrt(static_cast<double>(r.size()));
 }
 
+template <typename View>
 double
-CdSolver::sweepOver(std::span<const uint32_t> cols, const CdConfig &cfg,
-                    std::vector<float> &w, std::vector<float> &r) const
+CdSolver::sweepOver(const View &X, std::span<const uint32_t> cols,
+                    const CdConfig &cfg, std::vector<float> &w,
+                    std::vector<float> &r)
 {
-    const auto n = static_cast<double>(X_.rows());
+    const auto n = static_cast<double>(X.rows());
+    const bool anchor = gradCacheValid_;
     double max_delta = 0.0;
     for (uint32_t j : cols) {
         const double a = a_[j];
         const double w_old = w[j];
-        const double rho = X_.dot(j, r.data()) / n + a * w_old;
+        const double rho = X.dot(j, r.data()) / n + a * w_old;
+        if (anchor) {
+            // Recycle this exact dot as column j's new anchor; the
+            // movement between the last accounting event and this
+            // moment is over-covered by pendingDrift_.
+            cachedDot_[j] = (rho - a * w_old) * n;
+            anchorMean_[j] = meanAcc_;
+            anchorDrift_[j] = driftAcc_ - pendingDrift_;
+        }
         const double w_new = coordinateUpdate(rho, a, cfg.penalty);
         if (w_new != w_old) {
-            X_.axpy(j, static_cast<float>(w_old - w_new), r.data());
+            X.axpy(j, static_cast<float>(w_old - w_new), r.data());
             w[j] = static_cast<float>(w_new);
+            pendingDrift_ += std::abs(w_new - w_old) * xNorm_[j];
             max_delta = std::max(max_delta,
                                  std::abs(w_new - w_old) * std::sqrt(a));
         }
@@ -109,11 +256,13 @@ CdSolver::sweepOver(std::span<const uint32_t> cols, const CdConfig &cfg,
     return max_delta;
 }
 
+template <typename View>
 CdResult
-CdSolver::fit(const CdConfig &config, const CdResult *warm_start)
+CdSolver::fitImpl(const View &X, const CdConfig &config,
+                  const CdResult *warm_start)
 {
-    const size_t n = X_.rows();
-    const size_t m = X_.cols();
+    const size_t n = X.rows();
+    const size_t m = X.cols();
 
     CdResult res;
     res.w.assign(m, 0.0f);
@@ -134,52 +283,190 @@ CdSolver::fit(const CdConfig &config, const CdResult *warm_start)
     }
     for (size_t j = 0; j < m; ++j)
         if (res.w[j] != 0.0f)
-            X_.axpy(j, -res.w[j], r.data());
+            X.axpy(j, -res.w[j], r.data());
+
+    const auto &pen = config.penalty;
+    const auto nD = static_cast<double>(n);
+
+    // Strong-rule screening: keep warm-start nonzeros plus columns
+    // whose gradient at the warm start may clear 2*lambda - lambdaRef.
+    // Gradients come from the per-column anchored cache via certBound(),
+    // so a fit pays no upfront gradient pass at all (beyond the one-time
+    // bootstrap): admission errs on the side of the strong set exactly
+    // as the strong rule itself does, and the KKT pass below keeps the
+    // result exact either way.
+    std::vector<uint32_t> strong;
+    std::vector<uint32_t> rest; // live columns excluded from sweeps
+    const bool screenable =
+        config.screen && pen.lambda > 0.0 &&
+        (pen.kind == PenaltyKind::Lasso || pen.kind == PenaltyKind::Mcp) &&
+        live_.size() >= kScreenMinCols;
+    uint32_t kkt_dots = 0;
+    if (screenable) {
+        const double ref = config.screenLambdaRef > 0.0
+                               ? config.screenLambdaRef
+                               : lambdaMax();
+        const double thresh = (2.0 * pen.lambda - ref) * nD;
+        if (thresh > 0.0) {
+            if (!gradCacheValid_) {
+                bootstrapGradCache(r);
+                kkt_dots += static_cast<uint32_t>(live_.size());
+            } else {
+                advanceDriftAccount(r);
+            }
+            for (uint32_t j : live_) {
+                if (res.w[j] != 0.0f || certBound(j) >= thresh)
+                    strong.push_back(j);
+                else
+                    rest.push_back(j);
+            }
+        }
+    }
+    if (rest.empty())
+        strong = live_;
 
     const double tol_abs = config.tol * yStd_;
     uint32_t sweeps = 0;
     bool converged = false;
+    uint32_t kkt_passes = 0;
 
-    // Working set: nonzero coordinates (plus whatever full sweeps add).
+    // Working set: nonzero coordinates within the strong set.
     std::vector<uint32_t> active;
     auto rebuild_active = [&] {
         active.clear();
-        for (uint32_t j : live_)
+        for (uint32_t j : strong)
             if (res.w[j] != 0.0f)
                 active.push_back(j);
     };
-    rebuild_active();
 
-    while (sweeps < config.maxSweeps) {
-        // Full sweep: KKT check + working-set expansion in one pass.
-        if (config.fitIntercept)
-            updateIntercept(r, res.intercept);
-        const double full_delta = sweepOver(live_, config, res.w, r);
-        sweeps++;
+    std::vector<uint32_t> violators;
+    std::vector<uint32_t> still_rejected;
+    std::vector<uint32_t> need; // rejected columns requiring exact dots
+    for (;;) {
+        converged = false;
         rebuild_active();
-        if (full_delta <= tol_abs) {
-            converged = true;
-            break;
-        }
-
-        // Inner iterations on the active set only.
         while (sweeps < config.maxSweeps) {
+            // Full sweep over the strong set: KKT check within the set
+            // + working-set expansion in one pass.
             if (config.fitIntercept)
                 updateIntercept(r, res.intercept);
-            const double delta = sweepOver(active, config, res.w, r);
+            // Fresh accounting event per full sweep: replaces the
+            // pending per-update triangle bound with the actual
+            // residual distance (which benefits from cancellation), so
+            // the anchors recycled from this sweep's dots stay tight.
+            if (gradCacheValid_)
+                advanceDriftAccount(r);
+            const double full_delta =
+                sweepOver(X, strong, config, res.w, r);
             sweeps++;
-            if (delta <= tol_abs)
+            rebuild_active();
+            if (full_delta <= tol_abs) {
+                converged = true;
                 break;
+            }
+
+            // Inner iterations on the active set only.
+            while (sweeps < config.maxSweeps) {
+                if (config.fitIntercept)
+                    updateIntercept(r, res.intercept);
+                const double delta =
+                    sweepOver(X, active, config, res.w, r);
+                sweeps++;
+                if (delta <= tol_abs)
+                    break;
+            }
         }
+        if (rest.empty())
+            break;
+
+        // KKT verification over the screened-out columns: any column
+        // the penalty would move off zero was wrongly rejected — admit
+        // it and re-solve. A rejected column whose certified bound
+        // cannot reach lambda*N provably satisfies the KKT conditions
+        // without a dot product (for Lasso/MCP at w_j = 0 the update is
+        // zero iff |<x_j, r>| <= lambda*N); exact gradients are computed
+        // only for the columns the bound cannot certify, and each exact
+        // dot re-anchors its column so the next pass certifies it from
+        // a fresh baseline.
+        kkt_passes++;
+        advanceDriftAccount(r);
+        const double lambda_n = pen.lambda * nD;
+        need.clear();
+        for (uint32_t j : rest)
+            if (certBound(j) > lambda_n)
+                need.push_back(j);
+        if (!need.empty()) {
+            gradBuf_.resize(need.size());
+            columnGradientsFast(need, r.data(), gradBuf_.data());
+            kkt_dots += static_cast<uint32_t>(need.size());
+            // The fast pass accumulates in float; its error is within
+            // err_unit * xNorm_[j]. Results inside that band of the
+            // decision threshold are recomputed exactly, so the
+            // violator test below is as exact as a full double pass.
+            double rnorm2 = 0.0;
+            for (float v : r)
+                rnorm2 += static_cast<double>(v) * v;
+            const double err_unit =
+                bitkernels::kDotFastRelErr * std::sqrt(rnorm2);
+            for (size_t k = 0; k < need.size(); ++k) {
+                const uint32_t j = need[k];
+                if (std::abs(std::abs(gradBuf_[k]) - lambda_n) <=
+                    err_unit * xNorm_[j])
+                    gradBuf_[k] = X_.dot(j, r.data());
+            }
+            anchorColumns(need, gradBuf_.data(), err_unit);
+        }
+        violators.clear();
+        still_rejected.clear();
+        {
+            size_t t = 0; // `need` is an in-order subsequence of `rest`
+            for (uint32_t j : rest) {
+                if (t < need.size() && need[t] == j) {
+                    if (coordinateUpdate(gradBuf_[t] / nD, a_[j], pen) !=
+                        0.0)
+                        violators.push_back(j);
+                    else
+                        still_rejected.push_back(j);
+                    t++;
+                } else {
+                    still_rejected.push_back(j);
+                }
+            }
+        }
+        if (violators.empty())
+            break;
+        strong.insert(strong.end(), violators.begin(), violators.end());
+        std::sort(strong.begin(), strong.end());
+        rest.swap(still_rejected);
+        if (sweeps >= config.maxSweeps)
+            break; // sweep budget exhausted; report non-convergence
     }
 
     res.sweeps = sweeps;
     res.converged = converged;
+    res.kktPasses = kkt_passes;
+    res.kktDots = kkt_dots;
+    res.screenedOut = static_cast<uint32_t>(live_.size() - strong.size());
     double sse = 0.0;
     for (float v : r)
         sse += static_cast<double>(v) * v;
     res.trainMse = sse / static_cast<double>(n);
     return res;
+}
+
+CdResult
+CdSolver::fit(const CdConfig &config, const CdResult *warm_start)
+{
+    // Dispatch once per fit to a sweep loop instantiated on the
+    // concrete (final) view type, so the per-coordinate dot/axpy calls
+    // devirtualize. Unknown view types take the generic virtual path.
+    if (const auto *v = dynamic_cast<const BitFeatureView *>(&X_))
+        return fitImpl(*v, config, warm_start);
+    if (const auto *v = dynamic_cast<const CountFeatureView *>(&X_))
+        return fitImpl(*v, config, warm_start);
+    if (const auto *v = dynamic_cast<const DenseFeatureView *>(&X_))
+        return fitImpl(*v, config, warm_start);
+    return fitImpl(X_, config, warm_start);
 }
 
 } // namespace apollo

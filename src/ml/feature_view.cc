@@ -1,0 +1,35 @@
+#include "ml/feature_view.hh"
+
+#include "util/thread_pool.hh"
+
+namespace apollo {
+
+CountFeatureView::CountFeatureView(const CountColumnMatrix &matrix,
+                                   float scale)
+    : matrix_(matrix), scale_(scale), colSum_(matrix.cols(), 0),
+      colSumSq_(matrix.cols(), 0)
+{
+    const size_t n = matrix_.rows();
+    auto body = [&](size_t begin, size_t end) {
+        for (size_t col = begin; col < end; ++col) {
+            const uint8_t *c = matrix_.colData(col);
+            uint64_t s = 0;
+            uint64_t sq = 0;
+            for (size_t i = 0; i < n; ++i) {
+                const uint64_t v = c[i];
+                s += v;
+                sq += v * v;
+            }
+            colSum_[col] = s;
+            colSumSq_[col] = sq;
+        }
+    };
+    // One column pass, fanned over the pool for big matrices; outputs
+    // are per-column so the result is chunking-independent.
+    if (n * matrix_.cols() >= (1u << 20))
+        parallelFor(matrix_.cols(), body);
+    else
+        body(0, matrix_.cols());
+}
+
+} // namespace apollo

@@ -47,6 +47,34 @@ class FeatureView
     virtual double value(size_t row, size_t col) const = 0;
 
     /**
+     * Batched dot products: out[k] = <x_cols[k], v>. Used by the
+     * screening/KKT gradient passes so implementations can amortize
+     * loads of @p v across columns. out[k] must depend only on column
+     * cols[k] (callers chunk the column list across threads).
+     */
+    virtual void
+    dotColumns(std::span<const uint32_t> cols, const float *v,
+               double *out) const
+    {
+        for (size_t k = 0; k < cols.size(); ++k)
+            out[k] = dot(cols[k], v);
+    }
+
+    /**
+     * Like dotColumns but each result may be off by up to
+     * bitkernels::kDotFastRelErr * ||x_col|| * ||v||. Views with a
+     * faster approximate kernel override this; the default is exact
+     * (which trivially satisfies the bound). Callers making exact
+     * decisions must recompute borderline results with dotColumns.
+     */
+    virtual void
+    dotColumnsFast(std::span<const uint32_t> cols, const float *v,
+                   double *out) const
+    {
+        dotColumns(cols, v, out);
+    }
+
+    /**
      * Dense prediction: out[i] = intercept + sum_j w[j] * x[i][j].
      * @p w has cols() entries (zeros skipped).
      */
@@ -62,8 +90,11 @@ class FeatureView
     }
 };
 
-/** View over per-cycle binary toggle features. */
-class BitFeatureView : public FeatureView
+/**
+ * View over per-cycle binary toggle features. `final` so the solver's
+ * templated inner loop devirtualizes the kernel calls.
+ */
+class BitFeatureView final : public FeatureView
 {
   public:
     explicit BitFeatureView(const BitColumnMatrix &matrix)
@@ -83,6 +114,20 @@ class BitFeatureView : public FeatureView
     axpy(size_t col, float delta, float *v) const override
     {
         matrix_.axpyColumn(col, delta, v);
+    }
+
+    void
+    dotColumns(std::span<const uint32_t> cols, const float *v,
+               double *out) const override
+    {
+        matrix_.dotColumns(cols, v, out);
+    }
+
+    void
+    dotColumnsFast(std::span<const uint32_t> cols, const float *v,
+                   double *out) const override
+    {
+        matrix_.dotColumnsFast(cols, v, out);
     }
 
     double
@@ -111,13 +156,17 @@ class BitFeatureView : public FeatureView
 };
 
 /** View over tau-cycle toggle counts, scaled to average toggle rates. */
-class CountFeatureView : public FeatureView
+class CountFeatureView final : public FeatureView
 {
   public:
-    /** @param scale typically 1/tau so features lie in [0, 1]. */
-    CountFeatureView(const CountColumnMatrix &matrix, float scale)
-        : matrix_(matrix), scale_(scale)
-    {}
+    /**
+     * @param scale typically 1/tau so features lie in [0, 1].
+     * Construction makes one (parallel) pass over the matrix to cache
+     * per-column integer sums and sums of squares — solver setup calls
+     * sum()/sumSquares() once per column, which used to cost an O(n)
+     * scan each.
+     */
+    CountFeatureView(const CountColumnMatrix &matrix, float scale);
 
     size_t rows() const override { return matrix_.rows(); }
     size_t cols() const override { return matrix_.cols(); }
@@ -137,18 +186,16 @@ class CountFeatureView : public FeatureView
     double
     sumSquares(size_t col) const override
     {
+        // Integer sums are exact, so this matches a fresh scan bit for
+        // bit.
         return static_cast<double>(scale_) * scale_ *
-               matrix_.colSumSquares(col);
+               static_cast<double>(colSumSq_[col]);
     }
 
     double
     sum(size_t col) const override
     {
-        const uint8_t *c = matrix_.colData(col);
-        double acc = 0.0;
-        for (size_t i = 0; i < matrix_.rows(); ++i)
-            acc += c[i];
-        return scale_ * acc;
+        return scale_ * static_cast<double>(colSum_[col]);
     }
 
     double
@@ -162,6 +209,8 @@ class CountFeatureView : public FeatureView
   private:
     const CountColumnMatrix &matrix_;
     float scale_;
+    std::vector<uint64_t> colSum_;
+    std::vector<uint64_t> colSumSq_;
 };
 
 /** Column-major dense float matrix (small feature sets: PCA components,
@@ -198,7 +247,7 @@ class DenseColumnMatrix
 };
 
 /** View over a DenseColumnMatrix. */
-class DenseFeatureView : public FeatureView
+class DenseFeatureView final : public FeatureView
 {
   public:
     explicit DenseFeatureView(const DenseColumnMatrix &matrix)
@@ -254,6 +303,57 @@ class DenseFeatureView : public FeatureView
 
   private:
     const DenseColumnMatrix &matrix_;
+};
+
+/**
+ * Reference view over binary toggles using the per-bit scalar kernels
+ * and virtual dispatch only (the solver's concrete-view fast path does
+ * not recognize it). This is the all-optimizations-off baseline for
+ * bench_perf_solver and the oracle for the solver equivalence suite —
+ * it reproduces the pre-optimization solver behavior exactly.
+ */
+class ScalarBitFeatureView : public FeatureView
+{
+  public:
+    explicit ScalarBitFeatureView(const BitColumnMatrix &matrix)
+        : matrix_(matrix)
+    {}
+
+    size_t rows() const override { return matrix_.rows(); }
+    size_t cols() const override { return matrix_.cols(); }
+
+    double
+    dot(size_t col, const float *v) const override
+    {
+        return matrix_.dotColumnScalar(col, v);
+    }
+
+    void
+    axpy(size_t col, float delta, float *v) const override
+    {
+        matrix_.axpyColumnScalar(col, delta, v);
+    }
+
+    double
+    sumSquares(size_t col) const override
+    {
+        return static_cast<double>(matrix_.colPopcount(col));
+    }
+
+    double
+    sum(size_t col) const override
+    {
+        return static_cast<double>(matrix_.colPopcount(col));
+    }
+
+    double
+    value(size_t row, size_t col) const override
+    {
+        return matrix_.get(row, col) ? 1.0 : 0.0;
+    }
+
+  private:
+    const BitColumnMatrix &matrix_;
 };
 
 } // namespace apollo

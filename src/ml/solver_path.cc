@@ -20,8 +20,10 @@ runLambdaPath(CdSolver &solver, CdConfig base,
     std::vector<PathPoint> path;
     CdResult warm;
     double lambda = lambda_max * path_config.lambdaFactor;
+    double prev_lambda = lambda_max; // anchor for the sequential rule
     for (uint32_t k = 0; k < path_config.maxPoints; ++k) {
         base.penalty.lambda = lambda;
+        base.screenLambdaRef = prev_lambda;
         PathPoint point;
         point.lambda = lambda;
         point.result =
@@ -33,6 +35,7 @@ runLambdaPath(CdSolver &solver, CdConfig base,
         if (path_config.stopAtNonzeros &&
             path.back().nonzeros >= path_config.stopAtNonzeros)
             break;
+        prev_lambda = lambda;
         lambda *= path_config.lambdaFactor;
         if (lambda < lambda_max * path_config.minLambdaRatio)
             break;
@@ -77,8 +80,14 @@ solveForTargetQ(CdSolver &solver, CdConfig base, size_t target_q,
     std::vector<PathPoint> path = runLambdaPath(solver, base, path_config);
     APOLLO_REQUIRE(!path.empty(), "empty path");
 
-    if (diag)
+    if (diag) {
         diag->pathPoints = path.size();
+        for (const PathPoint &p : path) {
+            diag->totalSweeps += p.result.sweeps;
+            diag->totalKktPasses += p.result.kktPasses;
+            diag->totalKktDots += p.result.kktDots;
+        }
+    }
 
     const PathPoint &last = path.back();
     if (last.nonzeros == target_q) {
@@ -108,15 +117,23 @@ solveForTargetQ(CdSolver &solver, CdConfig base, size_t target_q,
     double best_lambda = last.lambda;
     size_t best_nnz = last.nonzeros;
     CdResult warm = last.result;
+    double warm_lambda = last.lambda;
 
     size_t bisections = 0;
     for (; bisections < 12; ++bisections) {
         const double lambda_mid =
             std::sqrt(lambda_lo * lambda_hi); // geometric midpoint
         base.penalty.lambda = lambda_mid;
+        base.screenLambdaRef = warm_lambda;
         CdResult mid = solver.fit(base, &warm);
         const size_t nnz = mid.nonzeros();
         warm = mid;
+        warm_lambda = lambda_mid;
+        if (diag) {
+            diag->totalSweeps += mid.sweeps;
+            diag->totalKktPasses += mid.kktPasses;
+            diag->totalKktDots += mid.kktDots;
+        }
         if (nnz == target_q) {
             if (diag) {
                 diag->lambda = lambda_mid;
@@ -170,12 +187,15 @@ solveForTargetsQ(CdSolver &solver, CdConfig base,
     double lambda = lambda_max * factor;
     double prev_lambda = lambda_max;
     CdResult warm;
+    double warm_lambda = lambda_max;
     bool have_warm = false;
 
     auto solve_at = [&](double lam) {
         base.penalty.lambda = lam;
+        base.screenLambdaRef = warm_lambda;
         CdResult res = solver.fit(base, have_warm ? &warm : nullptr);
         warm = res;
+        warm_lambda = lam;
         have_warm = true;
         return res;
     };
@@ -225,13 +245,22 @@ solveForTargetsQ(CdSolver &solver, CdConfig base,
             // Re-anchor the warm start on the dense path point so the
             // continuation stays monotone.
             warm = point;
+            warm_lambda = lambda;
         }
 
         prev_lambda = lambda;
         lambda *= factor;
     }
 
-    // Targets the path never reached: return the densest solution.
+    // Targets the path never reached: return the densest solution
+    // available. If no lambda point was ever solved (the loop can be
+    // starved by a degenerate lambda range), `warm` would be a
+    // default-constructed CdResult with empty weights — solve the path
+    // floor explicitly instead of handing that out.
+    if (next < order.size() && !have_warm)
+        solve_at(lambda_max * min_ratio);
+    APOLLO_ASSERT(next >= order.size() || !warm.w.empty(),
+                  "densest-solution fallback produced an empty model");
     for (; next < order.size(); ++next)
         results[order[next]] = warm;
     return results;

@@ -50,6 +50,12 @@ struct TargetQDiagnostics
     size_t pathPoints = 0;
     size_t bisections = 0;
     bool trimmed = false; ///< support trimmed to hit Q exactly
+    /** Coordinate sweeps summed over every fit of the search. */
+    size_t totalSweeps = 0;
+    /** KKT re-admission passes summed over every fit of the search. */
+    size_t totalKktPasses = 0;
+    /** Exact screening/KKT gradient dots summed over every fit. */
+    size_t totalKktDots = 0;
 };
 
 /**

@@ -16,8 +16,10 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "util/bitvec_kernels.hh"
 #include "util/logging.hh"
 
 namespace apollo {
@@ -180,9 +182,29 @@ class BitColumnMatrix
         }
     }
 
-    /** Dot product of column @p col against a dense float vector. */
+    /**
+     * Dot product of column @p col against a dense float vector,
+     * through the word-at-a-time kernels in util/bitvec_kernels.hh
+     * (AVX-512 masked loads where the CPU has them, an all-ones fast
+     * path + countr_zero walk otherwise). Accumulates in double.
+     * Trailing bits past rows() must be zero (set()/setBit() never
+     * touch them); the kernels rely on that contract.
+     */
     double
     dotColumn(size_t col, const float *dense) const
+    {
+        return bitkernels::dotWords(colWords(col), wordsPerCol_, rows_,
+                                    dense);
+    }
+
+    /**
+     * Reference per-bit dot product (ascending-row double
+     * accumulation). Kept for equivalence tests and as the
+     * all-optimizations-off baseline in bench_perf_solver; also the
+     * accumulation order contract for dotColumns().
+     */
+    double
+    dotColumnScalar(size_t col, const float *dense) const
     {
         double acc = 0.0;
         forEachSetBit(col, [&](size_t row) { acc += dense[row]; });
@@ -190,11 +212,51 @@ class BitColumnMatrix
     }
 
     /**
-     * dense[row] += delta for every set bit in column @p col (axpy with a
-     * binary column). Used for residual updates in coordinate descent.
+     * Batched dot products: out[k] = <column cols[k], dense>. One
+     * entry point for a whole gradient pass, so callers dispatch (and
+     * parallel chunks virtualize) once per block instead of once per
+     * column. Each output depends only on its own column — computed by
+     * dotColumn() — so results do not depend on how a caller chunks
+     * @p cols (the parallel gradient passes rely on this). A shared
+     * union walk over column blocks was measured and rejected: on
+     * sparse toggle data the OR of several columns has nearly disjoint
+     * bits, so batching multiplies per-bit work without amortizing
+     * residual loads.
+     */
+    void dotColumns(std::span<const uint32_t> cols, const float *dense,
+                    double *out) const;
+
+    /**
+     * Batched approximate dots through bitkernels::dotWordsFast (float
+     * accumulation, error within bitkernels::kDotFastRelErr *
+     * ||x_col|| * ||dense||). For screening/KKT passes that re-check
+     * borderline results exactly.
+     */
+    void
+    dotColumnsFast(std::span<const uint32_t> cols, const float *dense,
+                   double *out) const
+    {
+        for (size_t k = 0; k < cols.size(); ++k)
+            out[k] = bitkernels::dotWordsFast(colWords(cols[k]),
+                                              wordsPerCol_, rows_, dense);
+    }
+
+    /**
+     * dense[row] += delta for every set bit in column @p col (axpy with
+     * a binary column). Used for residual updates in coordinate
+     * descent. Every kernel implementation performs exactly one float
+     * add per set bit, so results are bit-identical across CPUs.
      */
     void
     axpyColumn(size_t col, float delta, float *dense) const
+    {
+        bitkernels::axpyWords(colWords(col), wordsPerCol_, rows_, delta,
+                              dense);
+    }
+
+    /** Reference per-bit axpy (baseline counterpart of axpyColumn). */
+    void
+    axpyColumnScalar(size_t col, float delta, float *dense) const
     {
         forEachSetBit(col, [&](size_t row) { dense[row] += delta; });
     }

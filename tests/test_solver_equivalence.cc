@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Equivalence and determinism suite for the layered solver fast path
+ * (docs/INTERNALS.md §6). The screened + anchored-cache + vectorized
+ * solver must reproduce the reference per-bit scalar solver exactly in
+ * selected support and within 1e-5 in weights, across penalties
+ * (Lasso/MCP), feature views (Bit/Count/Dense), and warm/cold starts;
+ * the parallel gradient passes must be run-to-run deterministic; and
+ * the packed-bit kernels must agree with the per-bit scalar reference
+ * (bit-identically, for axpy).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "core/proxy_selector.hh"
+#include "gen/ga_generator.hh"
+#include "ml/coordinate_descent.hh"
+#include "ml/feature_view.hh"
+#include "rtl/design_builder.hh"
+#include "trace/toggle_trace.hh"
+#include "util/bitvec.hh"
+#include "util/bitvec_kernels.hh"
+#include "util/rng.hh"
+#include "util/thread_pool.hh"
+
+namespace apollo {
+namespace {
+
+/**
+ * Synthetic binary design shared by the equivalence tests: mixed
+ * column densities (including one empty and one all-ones column), a
+ * row count that is not a multiple of 64, and labels from a planted
+ * sparse linear model plus noise.
+ */
+struct EquivFixtureData
+{
+    static constexpr size_t kRows = 400;
+    static constexpr size_t kCols = 220;
+
+    BitColumnMatrix bits{kRows, kCols};
+    CountColumnMatrix counts{kRows, kCols};
+    DenseColumnMatrix dense{kRows, kCols};
+    std::vector<float> y;
+
+    EquivFixtureData()
+    {
+        Xoshiro256StarStar rng(0x5eedbeef);
+        for (size_t j = 0; j < kCols; ++j) {
+            double density = 0.02 + 0.9 * (j % 17) / 17.0;
+            if (j == 5)
+                density = 0.0; // dead column: excluded from live_
+            if (j == 6)
+                density = 1.1; // all-ones column
+            for (size_t i = 0; i < kRows; ++i) {
+                const bool bit = rng.nextDouble() < density;
+                if (bit) {
+                    bits.setBit(i, j);
+                    counts.set(i, j, 1);
+                    dense.set(i, j, 1.0f);
+                }
+            }
+        }
+        y.resize(kRows);
+        for (size_t i = 0; i < kRows; ++i) {
+            double v = 0.4 + 0.05 * rng.nextGaussian();
+            for (size_t j = 10; j < kCols; j += 13)
+                v += 0.03 * (1.0 + j * 0.01) *
+                     (bits.get(i, j % kCols) ? 1.0 : 0.0);
+            y[i] = static_cast<float>(v);
+        }
+    }
+};
+
+const EquivFixtureData &
+equivFixture()
+{
+    static EquivFixtureData data;
+    return data;
+}
+
+CdConfig
+makeConfig(PenaltyKind kind, double lambda)
+{
+    CdConfig cfg;
+    cfg.penalty.kind = kind;
+    cfg.penalty.lambda = lambda;
+    cfg.penalty.gamma = 10.0;
+    // Converge both solvers far below the 1e-5 comparison tolerance so
+    // path differences (sweep order, screening) cannot show up as
+    // spurious weight deltas.
+    cfg.tol = 1e-7;
+    cfg.maxSweeps = 3000;
+    return cfg;
+}
+
+/** Reference fit: per-bit scalar view, no screening, no parallelism. */
+CdResult
+referenceFit(const CdConfig &cfg, const CdResult *warm = nullptr)
+{
+    const auto &fx = equivFixture();
+    ScalarBitFeatureView oracle(fx.bits);
+    CdConfig ref_cfg = cfg;
+    ref_cfg.screen = false;
+    CdSolver solver(oracle, fx.y,
+                    CdSolver::Options{.parallel = false, .pool = nullptr});
+    return solver.fit(ref_cfg, warm);
+}
+
+void
+expectEquivalent(const CdResult &got, const CdResult &want)
+{
+    ASSERT_EQ(got.w.size(), want.w.size());
+    EXPECT_EQ(got.support(), want.support());
+    for (size_t j = 0; j < got.w.size(); ++j)
+        EXPECT_NEAR(got.w[j], want.w[j], 1e-5) << "weight " << j;
+    EXPECT_NEAR(got.intercept, want.intercept, 1e-5);
+}
+
+class SolverEquivalence : public ::testing::TestWithParam<PenaltyKind>
+{
+  protected:
+    double
+    lambdaFor(double frac) const
+    {
+        const auto &fx = equivFixture();
+        ScalarBitFeatureView oracle(fx.bits);
+        CdSolver solver(
+            oracle, fx.y,
+            CdSolver::Options{.parallel = false, .pool = nullptr});
+        return frac * solver.lambdaMax();
+    }
+
+    /** Cold fit then a warm-started continuation fit, as the lambda
+     *  path drivers run them, on the optimized (screened) path. */
+    template <typename View>
+    void
+    checkView(const View &view)
+    {
+        const auto &fx = equivFixture();
+        const PenaltyKind kind = GetParam();
+        const double lam1 = lambdaFor(0.4);
+        const double lam2 = lambdaFor(0.25);
+
+        CdSolver solver(view, fx.y);
+        const CdConfig cold_cfg = makeConfig(kind, lam1);
+        const CdResult cold = solver.fit(cold_cfg);
+        expectEquivalent(cold, referenceFit(cold_cfg));
+
+        CdConfig warm_cfg = makeConfig(kind, lam2);
+        warm_cfg.screenLambdaRef = lam1;
+        const CdResult warm = solver.fit(warm_cfg, &cold);
+        const CdResult ref_cold = referenceFit(cold_cfg);
+        expectEquivalent(warm, referenceFit(warm_cfg, &ref_cold));
+    }
+};
+
+TEST_P(SolverEquivalence, BitViewMatchesScalarOracle)
+{
+    checkView(BitFeatureView(equivFixture().bits));
+}
+
+TEST_P(SolverEquivalence, CountViewMatchesScalarOracle)
+{
+    checkView(CountFeatureView(equivFixture().counts, 1.0f));
+}
+
+TEST_P(SolverEquivalence, DenseViewMatchesScalarOracle)
+{
+    checkView(DenseFeatureView(equivFixture().dense));
+}
+
+INSTANTIATE_TEST_SUITE_P(Penalties, SolverEquivalence,
+                         ::testing::Values(PenaltyKind::Lasso,
+                                           PenaltyKind::Mcp),
+                         [](const auto &info) {
+                             return info.param == PenaltyKind::Lasso
+                                        ? "Lasso"
+                                        : "Mcp";
+                         });
+
+TEST(SolverDeterminism, RepeatedParallelFitsAreByteIdentical)
+{
+    const auto &fx = equivFixture();
+    BitFeatureView view(fx.bits);
+    ThreadPool pool(4);
+    const CdConfig cfg = makeConfig(PenaltyKind::Mcp, 0.01);
+
+    auto run = [&] {
+        CdSolver solver(
+            view, fx.y,
+            CdSolver::Options{.parallel = true, .pool = &pool});
+        return solver.fit(cfg);
+    };
+    const CdResult a = run();
+    const CdResult b = run();
+    ASSERT_EQ(a.w.size(), b.w.size());
+    EXPECT_EQ(0, std::memcmp(a.w.data(), b.w.data(),
+                             a.w.size() * sizeof(float)));
+    EXPECT_EQ(a.intercept, b.intercept);
+    EXPECT_EQ(a.sweeps, b.sweeps);
+    EXPECT_EQ(a.kktDots, b.kktDots);
+}
+
+TEST(SolverScreening, TinyDesignSelectionUnchangedByScreening)
+{
+    // End-to-end exactness on real toggle data: proxy selection on the
+    // tiny design must pick identical proxies with the screened fast
+    // path and with the reference full-sweep path.
+    Netlist netlist = DesignBuilder::build(DesignConfig::tiny());
+    DatasetBuilder tb(netlist);
+    Xoshiro256StarStar rng(0xc0de);
+    for (int i = 0; i < 6; ++i) {
+        auto body = GaGenerator::randomBody(rng, 6, 20);
+        tb.addProgram(
+            Program::makeLoop("t" + std::to_string(i), body, 2000, rng()),
+            256);
+    }
+    const Dataset train = tb.build();
+    BitFeatureView view(train.X);
+
+    ProxySelectorConfig cfg;
+    cfg.targetQ = 24;
+    ProxySelectorConfig ref_cfg = cfg;
+    ref_cfg.screen = false;
+    ref_cfg.parallel = false;
+    const ProxySelection fast = selectProxies(view, train.y, cfg);
+    const ProxySelection ref = selectProxies(view, train.y, ref_cfg);
+    EXPECT_EQ(fast.proxyIds, ref.proxyIds);
+}
+
+/** Random packed words + dense vector for the kernel-agreement tests. */
+struct KernelCase
+{
+    size_t nrows;
+    double density;
+};
+
+class BitKernelAgreement : public ::testing::TestWithParam<KernelCase>
+{};
+
+TEST_P(BitKernelAgreement, DotAndAxpyMatchScalarReference)
+{
+    const auto [nrows, density] = GetParam();
+    BitColumnMatrix m(nrows, 3);
+    Xoshiro256StarStar rng(0xfeed + nrows);
+    std::vector<float> v(nrows);
+    for (size_t i = 0; i < nrows; ++i) {
+        v[i] = static_cast<float>(rng.nextGaussian());
+        if (rng.nextDouble() < density)
+            m.setBit(i, 1);
+    }
+    for (size_t i = 0; i < nrows; ++i)
+        m.setBit(i, 2); // all-ones column; column 0 stays empty
+
+    double norm_v2 = 0.0;
+    for (float x : v)
+        norm_v2 += static_cast<double>(x) * x;
+    const double norm_v = std::sqrt(norm_v2);
+
+    for (size_t col = 0; col < 3; ++col) {
+        const double ref = m.dotColumnScalar(col, v.data());
+        const double xnorm =
+            std::sqrt(static_cast<double>(m.colPopcount(col)));
+        const double tol = 1e-9 * (std::abs(ref) + xnorm * norm_v) +
+                           1e-12;
+        // Exact kernels: double accumulation, any lane split.
+        EXPECT_NEAR(bitkernels::dotWordsPortable(m.colWords(col),
+                                                 m.wordsPerCol(), nrows,
+                                                 v.data()),
+                    ref, tol);
+        EXPECT_NEAR(m.dotColumn(col, v.data()), ref, tol);
+        // Fast kernel: float accumulation within the documented bound.
+        EXPECT_NEAR(bitkernels::dotWordsFast(m.colWords(col),
+                                             m.wordsPerCol(), nrows,
+                                             v.data()),
+                    ref, bitkernels::kDotFastRelErr * xnorm * norm_v +
+                             1e-12);
+
+        // axpy: every implementation must be bit-identical (exactly
+        // one float add per set bit).
+        std::vector<float> a = v;
+        std::vector<float> b = v;
+        m.axpyColumnScalar(col, 0.37f, a.data());
+        m.axpyColumn(col, 0.37f, b.data());
+        EXPECT_EQ(0, std::memcmp(a.data(), b.data(),
+                                 nrows * sizeof(float)));
+        std::vector<float> c = v;
+        bitkernels::axpyWordsPortable(m.colWords(col), m.wordsPerCol(),
+                                      nrows, 0.37f, c.data());
+        EXPECT_EQ(0, std::memcmp(a.data(), c.data(),
+                                 nrows * sizeof(float)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BitKernelAgreement,
+    ::testing::Values(KernelCase{64, 0.1},   // exactly one word
+                      KernelCase{130, 0.5},  // partial tail word
+                      KernelCase{1000, 0.03},// sparse: ctz path
+                      KernelCase{1000, 0.7}),// dense: vector path
+    [](const auto &info) {
+        return "n" + std::to_string(info.param.nrows) + "_d" +
+               std::to_string(static_cast<int>(info.param.density * 100));
+    });
+
+} // namespace
+} // namespace apollo

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerate the solver perf trajectory (BENCH_solver.json at the repo
+# root). Usage: tools/run_benches.sh [--smoke] [extra bench args...]
+#
+# Environment:
+#   BUILD_DIR   build tree to use (default: build)
+#   APOLLO_NATIVE=1 configures the build with -march=native kernels.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+
+cmake_flags=()
+if [[ "${APOLLO_NATIVE:-0}" == "1" ]]; then
+    cmake_flags+=(-DAPOLLO_NATIVE=ON)
+fi
+
+cmake -B "$BUILD_DIR" -S . "${cmake_flags[@]}"
+cmake --build "$BUILD_DIR" -j --target bench_perf_solver
+
+"$BUILD_DIR"/bench/bench_perf_solver --out=BENCH_solver.json "$@"
+echo "BENCH_solver.json updated"
