@@ -4,10 +4,6 @@
 #include <cstdio>
 #include <iostream>
 
-#include "core/baselines.hh"
-#include "ml/metrics.hh"
-#include "ml/solver_path.hh"
-#include "util/table.hh"
 
 namespace apollo::bench {
 

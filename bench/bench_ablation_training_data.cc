@@ -17,10 +17,6 @@
 #include <iostream>
 
 #include "common.hh"
-#include "gen/ga_generator.hh"
-#include "ml/metrics.hh"
-#include "trace/toggle_trace.hh"
-#include "util/table.hh"
 
 using namespace apollo;
 using namespace apollo::bench;

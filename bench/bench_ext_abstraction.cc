@@ -15,12 +15,6 @@
 #include <iostream>
 
 #include "common.hh"
-#include "core/abstract_model.hh"
-#include "gen/ga_generator.hh"
-#include "gen/test_suite.hh"
-#include "ml/metrics.hh"
-#include "trace/toggle_trace.hh"
-#include "util/table.hh"
 
 using namespace apollo;
 using namespace apollo::bench;

@@ -10,10 +10,6 @@
 #include <iostream>
 
 #include "common.hh"
-#include "gen/ga_generator.hh"
-#include "trace/toggle_trace.hh"
-#include "util/stats.hh"
-#include "util/table.hh"
 
 using namespace apollo;
 using namespace apollo::bench;

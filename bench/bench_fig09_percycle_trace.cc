@@ -14,8 +14,6 @@
 #include <iostream>
 
 #include "common.hh"
-#include "ml/metrics.hh"
-#include "util/table.hh"
 
 using namespace apollo;
 using namespace apollo::bench;

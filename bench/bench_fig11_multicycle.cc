@@ -16,10 +16,6 @@
 #include <map>
 
 #include "common.hh"
-#include "core/baselines.hh"
-#include "core/multi_cycle.hh"
-#include "ml/metrics.hh"
-#include "util/table.hh"
 
 using namespace apollo;
 using namespace apollo::bench;

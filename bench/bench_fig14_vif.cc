@@ -12,11 +12,6 @@
 #include <iostream>
 
 #include "common.hh"
-#include "core/baselines.hh"
-#include "ml/kmeans.hh"
-#include "ml/metrics.hh"
-#include "ml/solver_path.hh"
-#include "util/table.hh"
 
 using namespace apollo;
 using namespace apollo::bench;

@@ -11,7 +11,6 @@
 #include <iostream>
 
 #include "common.hh"
-#include "util/table.hh"
 
 using namespace apollo;
 using namespace apollo::bench;

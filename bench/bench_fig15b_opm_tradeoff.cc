@@ -13,11 +13,6 @@
 #include <iostream>
 
 #include "common.hh"
-#include "ml/metrics.hh"
-#include "ml/solver_path.hh"
-#include "opm/opm_hardware.hh"
-#include "opm/opm_simulator.hh"
-#include "util/table.hh"
 
 using namespace apollo;
 using namespace apollo::bench;

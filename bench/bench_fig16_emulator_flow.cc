@@ -18,12 +18,6 @@
 #include <iostream>
 
 #include "common.hh"
-#include "core/baselines.hh"
-#include "flow/flows.hh"
-#include "ml/metrics.hh"
-#include "ml/neural_net.hh"
-#include "util/stats.hh"
-#include "util/table.hh"
 
 using namespace apollo;
 using namespace apollo::bench;

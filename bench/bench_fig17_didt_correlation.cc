@@ -12,10 +12,6 @@
 #include <iostream>
 
 #include "common.hh"
-#include "droop/droop.hh"
-#include "ml/metrics.hh"
-#include "opm/opm_simulator.hh"
-#include "util/table.hh"
 
 using namespace apollo;
 using namespace apollo::bench;

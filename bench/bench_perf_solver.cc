@@ -28,9 +28,7 @@
 #include <string>
 #include <vector>
 
-#include "ml/solver_path.hh"
-#include "util/bitvec.hh"
-#include "util/rng.hh"
+#include "apollo.hh"
 
 using namespace apollo;
 

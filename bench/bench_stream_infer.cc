@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Streaming pipeline bench: throughput and peak memory of the
+ * chunked trace-to-power engine (flow/stream_engine.hh) against the
+ * batch paths, on N1ish-shaped synthetic proxy traces.
+ *
+ * Three claims are measured and gated:
+ *
+ *  1. Flat memory: streaming a 10x longer trace leaves the engine's
+ *     peak buffer bytes (and process RSS) unchanged — the trace is
+ *     generated chunk by chunk and never resident. The memory-scaling
+ *     runs execute FIRST, before any batch matrix is allocated, so
+ *     ru_maxrss reflects the streaming pipeline alone.
+ *  2. Quantized throughput: the streaming OPM path evaluates the
+ *     AND-gated adder tree column-wise (O(set bits) integer axpy)
+ *     instead of OpmSimulator::simulate()'s per-cycle row gather
+ *     (O(cycles x Q) bit reads) — a single-thread algorithmic win
+ *     gated at >= 4x in full mode.
+ *  3. Bit identity: streamed samples equal the batch paths exactly
+ *     (float per-cycle and quantized windows).
+ *
+ * Results go to BENCH_stream.json.
+ *
+ * Usage: bench_stream_infer [--smoke] [--reps=N] [--out=PATH]
+ */
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "apollo.hh"
+
+using namespace apollo;
+
+namespace {
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+double
+maxRssMb()
+{
+    rusage ru{};
+    getrusage(RUSAGE_SELF, &ru);
+    return static_cast<double>(ru.ru_maxrss) / 1024.0; // KB on Linux
+}
+
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Per-column toggle density class, N1ish-shaped (see bench_perf_solver). */
+int
+densityAnds(uint64_t seed, size_t col)
+{
+    // 0 ands = 50% dense .. 5 ands = 1.6%; a few hot columns stay at 0.
+    const uint64_t u = mix64(seed ^ (col * 0x51ed2701ULL)) % 100;
+    if (u < 7)
+        return 0;
+    if (u < 27)
+        return 1;
+    if (u < 55)
+        return 2;
+    if (u < 80)
+        return 3;
+    if (u < 93)
+        return 4;
+    return 5;
+}
+
+/** Fill rows [first, first+n) of a chunk from the hash stream. */
+void
+fillChunkWords(BitColumnMatrix &bits, uint64_t first, size_t n,
+               size_t q, uint64_t seed)
+{
+    bits.reset(n, q);
+    const size_t wpc = bits.wordsPerCol();
+    if (wpc == 0)
+        return;
+    const uint64_t tail_mask =
+        (n & 63) ? ((1ULL << (n & 63)) - 1) : ~0ULL;
+    for (size_t c = 0; c < q; ++c) {
+        const int ands = densityAnds(seed, c);
+        uint64_t *w = bits.colWordsMutable(c);
+        // Chunks are served at 64-aligned boundaries, so word k of this
+        // chunk is global word first/64 + k — chunk size cannot change
+        // the generated bits.
+        const uint64_t word0 = first >> 6;
+        for (size_t k = 0; k < wpc; ++k) {
+            uint64_t word =
+                mix64(seed ^ ((word0 + k) * 0x2545f491ULL) ^
+                      (c * 0x9e3779b9ULL));
+            for (int t = 0; t < ands; ++t)
+                word &= mix64(word + t + 1);
+            w[k] = word;
+        }
+        w[wpc - 1] &= tail_mask;
+    }
+}
+
+/**
+ * Deterministic synthetic trace source generating chunks on demand —
+ * memory-scaling runs use it so a 10x longer trace allocates nothing
+ * extra.
+ */
+class HashChunkReader : public ProxyChunkReader
+{
+  public:
+    HashChunkReader(uint64_t cycles, size_t q, uint64_t seed)
+        : cycles_(cycles), q_(q), seed_(seed)
+    {}
+
+    size_t proxyCount() const override { return q_; }
+    uint64_t totalCycles() const override { return cycles_; }
+
+    StatusOr<size_t>
+    next(size_t max_rows, ProxyChunk &chunk) override
+    {
+        // Keep chunk boundaries 64-aligned so the word-wise generator
+        // is chunk-size invariant.
+        const size_t aligned = std::max<size_t>(64, max_rows & ~size_t{63});
+        const size_t n =
+            static_cast<size_t>(std::min<uint64_t>(aligned,
+                                                   cycles_ - pos_));
+        if (n == 0)
+            return size_t{0};
+        chunk.firstCycle = pos_;
+        fillChunkWords(chunk.bits, pos_, n, q_, seed_);
+        pos_ += n;
+        return n;
+    }
+
+  private:
+    uint64_t cycles_;
+    size_t q_;
+    uint64_t seed_;
+    uint64_t pos_ = 0;
+};
+
+/** Materialize the same hash trace as one batch matrix. */
+BitColumnMatrix
+materialize(uint64_t cycles, size_t q, uint64_t seed)
+{
+    BitColumnMatrix X;
+    fillChunkWords(X, 0, static_cast<size_t>(cycles), q, seed);
+    return X;
+}
+
+ApolloModel
+makeModel(size_t q, uint64_t seed)
+{
+    ApolloModel model;
+    model.intercept = 0.42;
+    for (size_t i = 0; i < q; ++i) {
+        model.proxyIds.push_back(static_cast<uint32_t>(i));
+        const double u =
+            static_cast<double>(mix64(seed ^ i) % 2000) / 1000.0 - 1.0;
+        model.weights.push_back(static_cast<float>(0.05 + 0.5 * u * u));
+    }
+    return model;
+}
+
+struct Timed
+{
+    double seconds = 1e300;
+    StreamStats stats;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    int reps = 1;
+    std::string out = "BENCH_stream.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else if (std::strncmp(argv[i], "--reps=", 7) == 0)
+            reps = std::atoi(argv[i] + 7);
+        else if (std::strncmp(argv[i], "--out=", 6) == 0)
+            out = argv[i] + 6;
+    }
+
+    const uint64_t n = smoke ? 120000 : 2000000;
+    const size_t q = smoke ? 48 : 150;
+    const uint32_t T = 32;
+    const uint64_t seed = 0x57a3a11ULL;
+
+    std::printf("bench_stream_infer: n=%llu q=%zu T=%u reps=%d%s\n",
+                static_cast<unsigned long long>(n), q, T, reps,
+                smoke ? " [smoke]" : "");
+
+    const ApolloModel model = makeModel(q, seed);
+    const QuantizedModel qm = quantizeModel(model, 10);
+    const StreamingInference fengine(model);
+    const StreamingInference qengine(qm, T);
+    const StreamConfig config; // defaults: 16k chunk, auto in-flight
+
+    // ---- 1. Memory scaling (must run before any batch allocation so
+    //         ru_maxrss is untouched by trace-length-sized buffers).
+    StreamStats mem1, mem10;
+    double rss1 = 0.0, rss10 = 0.0;
+    {
+        HashChunkReader reader(n, q, seed);
+        RingBufferSink sink(256);
+        StatusOr<StreamStats> stats = qengine.run(reader, sink, config);
+        stats.status().orFatal();
+        mem1 = *stats;
+        rss1 = maxRssMb();
+    }
+    {
+        HashChunkReader reader(10 * n, q, seed);
+        RingBufferSink sink(256);
+        StatusOr<StreamStats> stats = qengine.run(reader, sink, config);
+        stats.status().orFatal();
+        mem10 = *stats;
+        rss10 = maxRssMb();
+    }
+    std::printf("  memory: peak buffers %.2f MB @N, %.2f MB @10N; "
+                "RSS %.1f MB -> %.1f MB\n",
+                mem1.peakBufferBytes / 1e6, mem10.peakBufferBytes / 1e6,
+                rss1, rss10);
+
+    // ---- 2. Throughput + bit identity vs the batch paths.
+    const BitColumnMatrix X = materialize(n, q, seed);
+
+    // Quantized: batch row gather vs streaming column axpy.
+    Timed qbatch, qstream;
+    std::vector<float> qbatch_power, qstream_power;
+    OpmSimulator sim(qm, T);
+    for (int rep = 0; rep < reps; ++rep) {
+        const double t0 = nowSeconds();
+        qbatch_power = sim.simulate(X);
+        qbatch.seconds = std::min(qbatch.seconds, nowSeconds() - t0);
+    }
+    for (int rep = 0; rep < reps; ++rep) {
+        MatrixChunkReader reader(X);
+        VectorSink sink;
+        const double t0 = nowSeconds();
+        StatusOr<StreamStats> stats = qengine.run(reader, sink, config);
+        const double secs = nowSeconds() - t0;
+        stats.status().orFatal();
+        if (secs < qstream.seconds) {
+            qstream.seconds = secs;
+            qstream.stats = *stats;
+        }
+        qstream_power = sink.takeValues();
+    }
+    const bool q_identical = qstream_power == qbatch_power;
+    const double q_speedup = qbatch.seconds / qstream.seconds;
+
+    // Float per-cycle: batch predictProxies vs streaming.
+    Timed fbatch, fstream;
+    std::vector<float> fbatch_power, fstream_power;
+    for (int rep = 0; rep < reps; ++rep) {
+        const double t0 = nowSeconds();
+        fbatch_power = model.predictProxies(X);
+        fbatch.seconds = std::min(fbatch.seconds, nowSeconds() - t0);
+    }
+    for (int rep = 0; rep < reps; ++rep) {
+        MatrixChunkReader reader(X);
+        VectorSink sink;
+        const double t0 = nowSeconds();
+        StatusOr<StreamStats> stats = fengine.run(reader, sink, config);
+        const double secs = nowSeconds() - t0;
+        stats.status().orFatal();
+        if (secs < fstream.seconds) {
+            fstream.seconds = secs;
+            fstream.stats = *stats;
+        }
+        fstream_power = sink.takeValues();
+    }
+    const bool f_identical = fstream_power == fbatch_power;
+    const double f_speedup = fbatch.seconds / fstream.seconds;
+
+    const double n_d = static_cast<double>(n);
+    std::printf("  quantized: batch %.3fs (%.1f Mcyc/s)  stream %.3fs "
+                "(%.1f Mcyc/s)  speedup %.2fx  identical=%s\n",
+                qbatch.seconds, n_d / qbatch.seconds / 1e6,
+                qstream.seconds, n_d / qstream.seconds / 1e6, q_speedup,
+                q_identical ? "yes" : "NO");
+    std::printf("  float:     batch %.3fs (%.1f Mcyc/s)  stream %.3fs "
+                "(%.1f Mcyc/s)  speedup %.2fx  identical=%s\n",
+                fbatch.seconds, n_d / fbatch.seconds / 1e6,
+                fstream.seconds, n_d / fstream.seconds / 1e6, f_speedup,
+                f_identical ? "yes" : "NO");
+
+    const double batch_rss = maxRssMb();
+    const double mem_ratio =
+        static_cast<double>(mem10.peakBufferBytes) /
+        static_cast<double>(mem1.peakBufferBytes);
+
+    std::ofstream os(out);
+    os << "{\n";
+    os << "  \"bench\": \"stream_infer\",\n";
+    os << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n";
+    os << "  \"n\": " << n << ",\n  \"q\": " << q << ",\n  \"T\": " << T
+       << ",\n";
+    os << "  \"memory\": {\n";
+    os << "    \"peak_buffer_bytes_at_n\": " << mem1.peakBufferBytes
+       << ",\n";
+    os << "    \"peak_buffer_bytes_at_10n\": " << mem10.peakBufferBytes
+       << ",\n";
+    os << "    \"peak_buffer_ratio_10n\": " << mem_ratio << ",\n";
+    os << "    \"stream_rss_mb_at_n\": " << rss1 << ",\n";
+    os << "    \"stream_rss_mb_at_10n\": " << rss10 << ",\n";
+    os << "    \"rss_mb_after_batch\": " << batch_rss << "\n";
+    os << "  },\n";
+    os << "  \"quantized\": {\n";
+    os << "    \"batch_seconds\": " << qbatch.seconds << ",\n";
+    os << "    \"stream_seconds\": " << qstream.seconds << ",\n";
+    os << "    \"batch_mcycles_per_sec\": "
+       << n_d / qbatch.seconds / 1e6 << ",\n";
+    os << "    \"stream_mcycles_per_sec\": "
+       << n_d / qstream.seconds / 1e6 << ",\n";
+    os << "    \"speedup_stream_vs_batch\": " << q_speedup << ",\n";
+    os << "    \"bit_identical\": " << (q_identical ? "true" : "false")
+       << "\n  },\n";
+    os << "  \"float\": {\n";
+    os << "    \"batch_seconds\": " << fbatch.seconds << ",\n";
+    os << "    \"stream_seconds\": " << fstream.seconds << ",\n";
+    os << "    \"batch_mcycles_per_sec\": "
+       << n_d / fbatch.seconds / 1e6 << ",\n";
+    os << "    \"stream_mcycles_per_sec\": "
+       << n_d / fstream.seconds / 1e6 << ",\n";
+    os << "    \"speedup_stream_vs_batch\": " << f_speedup << ",\n";
+    os << "    \"bit_identical\": " << (f_identical ? "true" : "false")
+       << "\n  }\n";
+    os << "}\n";
+    std::printf("wrote %s\n", out.c_str());
+
+    // ---- Gates.
+    bool ok = true;
+    if (!q_identical || !f_identical) {
+        std::fprintf(stderr, "FAIL: streamed power differs from the "
+                             "batch path\n");
+        ok = false;
+    }
+    if (mem_ratio > 2.0) {
+        std::fprintf(stderr,
+                     "FAIL: peak buffers grew %.2fx at 10x trace "
+                     "length (expected flat)\n",
+                     mem_ratio);
+        ok = false;
+    }
+    if (rss10 > rss1 * 1.5 + 64.0) {
+        std::fprintf(stderr,
+                     "FAIL: RSS grew from %.1f MB to %.1f MB at 10x "
+                     "trace length\n",
+                     rss1, rss10);
+        ok = false;
+    }
+    const double q_floor = smoke ? 1.0 : 4.0;
+    if (q_speedup < q_floor) {
+        std::fprintf(stderr,
+                     "FAIL: quantized streaming speedup %.2fx below "
+                     "%.1fx floor\n",
+                     q_speedup, q_floor);
+        ok = false;
+    }
+    return ok ? 0 : 1;
+}

@@ -12,8 +12,6 @@
 #include <iostream>
 
 #include "common.hh"
-#include "opm/baseline_opms.hh"
-#include "util/table.hh"
 
 using namespace apollo;
 using namespace apollo::bench;

@@ -11,9 +11,6 @@
 #include <iostream>
 
 #include "common.hh"
-#include "gen/test_suite.hh"
-#include "uarch/core.hh"
-#include "util/table.hh"
 
 using namespace apollo;
 using namespace apollo::bench;

@@ -10,9 +10,6 @@
 #include <iostream>
 
 #include "common.hh"
-#include "core/baselines.hh"
-#include "ml/metrics.hh"
-#include "util/table.hh"
 
 using namespace apollo;
 using namespace apollo::bench;

@@ -5,10 +5,6 @@
 #include <filesystem>
 #include <fstream>
 
-#include "gen/ga_generator.hh"
-#include "gen/test_suite.hh"
-#include "trace/dataset_io.hh"
-#include "util/logging.hh"
 
 namespace apollo::bench {
 

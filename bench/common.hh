@@ -16,9 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "core/apollo_trainer.hh"
-#include "rtl/design_builder.hh"
-#include "trace/dataset.hh"
+#include "apollo.hh"
 
 namespace apollo::bench {
 

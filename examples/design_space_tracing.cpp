@@ -1,9 +1,10 @@
 /**
  * @file
  * Design-time power introspection at workload scale (§5, §8.1): trace a
- * long multi-phase workload through the emulator-assisted flow
- * (proxy-only tracing + linear inference), dump a VCD of the proxies
- * for waveform tools, and use the model for a relative
+ * long multi-phase workload through the *streaming* emulator-assisted
+ * flow (proxy bits generated chunk by chunk, per-cycle power delivered
+ * to a sink — the full power trace never materializes), dump a VCD of
+ * the proxies for waveform tools, and use the model for a relative
  * microarchitecture comparison (§7.3: unbiased predictions make
  * relative comparisons trustworthy) — here, the power cost of the
  * three throttling schemes across the whole workload.
@@ -11,18 +12,86 @@
  * Run: ./examples/design_space_tracing
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <string>
+#include <vector>
 
-#include "core/apollo_trainer.hh"
-#include "flow/flows.hh"
-#include "gen/ga_generator.hh"
-#include "ml/metrics.hh"
-#include "rtl/design_builder.hh"
-#include "trace/toggle_trace.hh"
-#include "trace/vcd.hh"
+#include "apollo.hh"
 
 using namespace apollo;
+
+namespace {
+
+/**
+ * Online power profiler: consumes the per-cycle stream and keeps only
+ * reductions — the running mean, a coarse phase profile, and 64-cycle
+ * window means for the sustained-peak percentile. Memory is O(cycles /
+ * 64) regardless of how the engine chunks the trace.
+ */
+class ProfileSink final : public PowerSink
+{
+  public:
+    Status
+    consume(uint64_t, std::span<const float> values) override
+    {
+        for (const float v : values) {
+            sum_ += v;
+            ++count_;
+            winAcc_ += v;
+            if (++winFill_ == 64) {
+                windows_.push_back(winAcc_ / 64);
+                winAcc_ = 0.0;
+                winFill_ = 0;
+            }
+            phaseAcc_ += v;
+            if (++phaseFill_ == kPhase) {
+                phases_.push_back(phaseAcc_ / kPhase);
+                phaseAcc_ = 0.0;
+                phaseFill_ = 0;
+            }
+        }
+        return Status::okStatus();
+    }
+
+    double
+    meanPower() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    /** 99.5th percentile of 64-cycle window means (sustained peak). */
+    double
+    peakPower() const
+    {
+        std::vector<double> sorted = windows_;
+        std::sort(sorted.begin(), sorted.end());
+        return sorted.empty()
+                   ? 0.0
+                   : sorted[static_cast<size_t>(
+                         0.995 * (sorted.size() - 1))];
+    }
+
+    static constexpr size_t kPhase = 2000;
+    const std::vector<double> &
+    phases() const
+    {
+        return phases_;
+    }
+
+  private:
+    double sum_ = 0.0;
+    uint64_t count_ = 0;
+    double winAcc_ = 0.0;
+    size_t winFill_ = 0;
+    std::vector<double> windows_;
+    double phaseAcc_ = 0.0;
+    size_t phaseFill_ = 0;
+    std::vector<double> phases_;
+};
+
+} // namespace
 
 int
 main()
@@ -39,16 +108,18 @@ main()
                               rng()),
             300);
     }
-    ApolloTrainConfig cfg;
-    cfg.selection.targetQ = 40;
+    const Trainer trainer(TrainOptions().targetQ(40));
     const ApolloModel model =
-        trainApollo(builder.build(), cfg, netlist.name()).model;
+        trainer.train(builder.build(), netlist.name()).model;
 
-    // Emulator-assisted tracing of a long workload.
-    DesignTimeFlows flows(netlist);
+    // Streaming emulator-assisted tracing of a long workload: the sink
+    // reduces the power stream online, so peak memory is bounded by
+    // the chunk size rather than the workload length.
+    Flows flows(netlist);
     const Program workload = makeLongWorkload("workload", 120000, 4);
+    ProfileSink profile;
     const FlowReport trace =
-        flows.runEmulatorFlow(workload, 100000, model);
+        flows.emulatorStreaming(workload, 100000, model, profile);
     std::printf("traced %llu cycles in %.2fs (%.0f kcycles/s); proxy "
                 "trace %.2f MB vs %.1f MB for all signals\n",
                 static_cast<unsigned long long>(trace.cycles),
@@ -58,17 +129,13 @@ main()
                 static_cast<double>(netlist.signalCount()) *
                     trace.cycles / 8 / 1e6);
 
-    // Phase profile.
-    const size_t window = 2000;
+    // Phase profile, reduced online by the sink.
     std::printf("\nwindowed power profile (one row per %zu cycles):\n",
-                window);
-    for (size_t w = 0; w + window <= trace.power.size() && w < 20 * window;
-         w += window) {
-        double acc = 0.0;
-        for (size_t i = 0; i < window; ++i)
-            acc += trace.power[w + i];
-        acc /= window;
-        std::printf("  %7zu %7.3f %s\n", w, acc,
+                ProfileSink::kPhase);
+    const size_t shown = std::min<size_t>(profile.phases().size(), 20);
+    for (size_t w = 0; w < shown; ++w) {
+        const double acc = profile.phases()[w];
+        std::printf("  %7zu %7.3f %s\n", w * ProfileSink::kPhase, acc,
                     std::string(static_cast<size_t>(acc * 30), '#')
                         .c_str());
     }
@@ -99,25 +166,13 @@ main()
     }
 
     // Relative microarchitecture comparison: throttling schemes over
-    // the full workload, measured purely with the model.
+    // the full workload, measured purely with the model. Each variant
+    // streams through its own sink; no power vector is ever allocated.
     std::printf("\nthrottling-scheme comparison over the workload "
                 "(model-only, no sign-off runs). Throttling caps the "
                 "*peak*; dependence-bound phases keep their average:\n");
-    auto peak_power = [](const std::vector<float> &power) {
-        // 99.5th percentile of 64-cycle windows (sustained peak).
-        std::vector<double> windows;
-        for (size_t w = 0; w + 64 <= power.size(); w += 64) {
-            double acc = 0.0;
-            for (size_t i = 0; i < 64; ++i)
-                acc += power[w + i];
-            windows.push_back(acc / 64);
-        }
-        std::sort(windows.begin(), windows.end());
-        return windows[static_cast<size_t>(0.995 *
-                                           (windows.size() - 1))];
-    };
-    const double base_mean = mean(trace.power);
-    const double base_peak = peak_power(trace.power);
+    const double base_mean = profile.meanPower();
+    const double base_peak = profile.peakPower();
     std::printf("  %-10s avg %.3f  peak(p99.5/64cyc) %.3f\n",
                 "baseline", base_mean, base_peak);
     for (auto [mode, name] :
@@ -126,14 +181,13 @@ main()
           std::pair{ThrottleMode::Scheme3, "scheme 3"}}) {
         CoreParams params;
         params.throttle = mode;
-        DesignTimeFlows tflows(netlist, params);
-        const FlowReport rep =
-            tflows.runEmulatorFlow(workload, 100000, model);
+        Flows tflows(netlist, params);
+        ProfileSink tp;
+        tflows.emulatorStreaming(workload, 100000, model, tp);
         std::printf("  %-10s avg %.3f (%5.1f%%)  peak %.3f (%5.1f%%)\n",
-                    name, mean(rep.power),
-                    100.0 * mean(rep.power) / base_mean,
-                    peak_power(rep.power),
-                    100.0 * peak_power(rep.power) / base_peak);
+                    name, tp.meanPower(),
+                    100.0 * tp.meanPower() / base_mean, tp.peakPower(),
+                    100.0 * tp.peakPower() / base_peak);
     }
     return 0;
 }

@@ -12,13 +12,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "core/apollo_trainer.hh"
-#include "droop/droop.hh"
-#include "flow/flows.hh"
-#include "gen/ga_generator.hh"
-#include "opm/opm_simulator.hh"
-#include "rtl/design_builder.hh"
-#include "trace/toggle_trace.hh"
+#include "apollo.hh"
 
 using namespace apollo;
 
@@ -37,18 +31,17 @@ main()
                               rng()),
             300);
     }
-    ApolloTrainConfig cfg;
-    cfg.selection.targetQ = 40;
+    const Trainer trainer(TrainOptions().targetQ(40));
     const ApolloModel model =
-        trainApollo(builder.build(), cfg, netlist.name()).model;
+        trainer.train(builder.build(), netlist.name()).model;
 
     // A bursty workload: compute bursts after idle stretches are what
     // produce the worst Ldi/dt transients.
-    DesignTimeFlows flows(netlist);
+    Flows flows(netlist);
     const Program workload = makeLongWorkload("bursty", 16000, 0xd00);
-    const FlowReport truth = flows.runCommercialFlow(workload, 12000);
+    const FlowReport truth = flows.commercial(workload, 12000);
     const FlowReport est =
-        flows.runEmulatorFlow(workload, 12000, model);
+        flows.emulatorAssisted(workload, 12000, model);
 
     // The OPM watches its own estimate.
     const DidtAnalysis didt = analyzeDidt(truth.power, est.power, 0.75);

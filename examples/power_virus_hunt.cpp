@@ -13,10 +13,7 @@
 
 #include <cstdio>
 
-#include "gen/ga_generator.hh"
-#include "gen/test_suite.hh"
-#include "rtl/design_builder.hh"
-#include "trace/toggle_trace.hh"
+#include "apollo.hh"
 
 using namespace apollo;
 

@@ -15,12 +15,7 @@
 
 #include <cstdio>
 
-#include "core/apollo_trainer.hh"
-#include "gen/ga_generator.hh"
-#include "ml/metrics.hh"
-#include "opm/opm_simulator.hh"
-#include "rtl/design_builder.hh"
-#include "trace/toggle_trace.hh"
+#include "apollo.hh"
 
 using namespace apollo;
 
@@ -53,10 +48,9 @@ main()
                 train.X.byteSize() / 1e6);
 
     // 3. Train APOLLO: MCP proxy selection + ridge relaxation.
-    ApolloTrainConfig config;
-    config.selection.targetQ = 40;
+    const Trainer trainer(TrainOptions().targetQ(40));
     const ApolloTrainResult result =
-        trainApollo(train, config, netlist.name());
+        trainer.train(train, netlist.name());
     std::printf("selected Q=%zu proxies (%.2f%% of signals) in %.1fs; "
                 "relaxation %.2fs\n",
                 result.model.proxyCount(),
@@ -69,20 +63,23 @@ main()
     const auto body = GaGenerator::randomBody(rng, 10, 20);
     eval.addProgram(Program::makeLoop("unseen", body, 4000, 777), 800);
     const Dataset test = eval.build();
-    const auto pred = result.model.predictFull(test.X);
+    const Inference inference(result.model);
+    const auto pred = inference.predictFull(test.X);
     std::printf("unseen benchmark: R2=%.4f NRMSE=%.2f%% NMAE=%.2f%%\n",
                 r2Score(test.y, pred), 100.0 * nrmse(test.y, pred),
                 100.0 * nmae(test.y, pred));
 
-    // 5. The runtime OPM: 10-bit weights, bit-true hardware semantics.
+    // 5. The runtime OPM: 10-bit weights, bit-true hardware semantics,
+    //    through the same Inference entry point.
     const QuantizedModel qm = quantizeModel(result.model, 10);
     const BitColumnMatrix proxies =
         test.X.selectColumns(result.model.proxyIds);
-    OpmSimulator opm(qm, 1);
-    const auto hw = opm.simulate(proxies);
+    const Inference opm(qm, 1);
+    const auto hw = opm.predict(proxies);
     std::printf("10-bit OPM (bit-true): R2=%.4f (cycle-sum width %u "
                 "bits, latency %u cycles)\n",
-                r2Score(test.y, hw), opm.cycleSumBits(),
+                r2Score(test.y, hw),
+                OpmSimulator(qm, 1).cycleSumBits(),
                 OpmSimulator::latencyCycles);
     return 0;
 }

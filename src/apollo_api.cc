@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Out-of-line pieces of the public umbrella API (src/apollo.hh). Also
+ * serves as the compile check that the umbrella header is
+ * self-contained.
+ */
+
+#include "apollo.hh"
+
+namespace apollo {
+
+const char *
+apolloVersion()
+{
+    // Bumped when the public entry-point surface changes shape.
+    return "1.0";
+}
+
+} // namespace apollo

@@ -1,5 +1,6 @@
 #include "core/apollo_model.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <iomanip>
 #include <istream>
@@ -36,13 +37,23 @@ ApolloModel::predictFull(const BitColumnMatrix &X) const
 std::vector<float>
 ApolloModel::predictProxies(const BitColumnMatrix &Xq) const
 {
+    std::vector<float> out(Xq.rows());
+    predictProxiesInto(Xq, out);
+    return out;
+}
+
+void
+ApolloModel::predictProxiesInto(const BitColumnMatrix &Xq,
+                                std::span<float> out) const
+{
     APOLLO_REQUIRE(Xq.cols() == proxyIds.size(),
                    "proxy matrix arity mismatch");
-    std::vector<float> out(Xq.rows(), static_cast<float>(intercept));
+    APOLLO_REQUIRE(out.size() >= Xq.rows(), "output buffer too small");
+    std::fill(out.begin(), out.begin() + Xq.rows(),
+              static_cast<float>(intercept));
     for (size_t q = 0; q < proxyIds.size(); ++q)
         if (weights[q] != 0.0f)
             Xq.axpyColumn(q, weights[q], out.data());
-    return out;
 }
 
 void

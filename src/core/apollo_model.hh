@@ -48,6 +48,18 @@ struct ApolloModel
      */
     std::vector<float> predictProxies(const BitColumnMatrix &Xq) const;
 
+    /**
+     * Proxy-layout prediction into a caller-owned buffer (out.size()
+     * >= Xq.rows(); entries past Xq.rows() are untouched). This is the
+     * single inference kernel both predictProxies() and the streaming
+     * engine's chunk workers call, so chunked results are bit-identical
+     * to the batch path by construction: per output element the float
+     * additions are intercept, then w_q for each set proxy bit in
+     * ascending q — independent of how rows are chunked.
+     */
+    void predictProxiesInto(const BitColumnMatrix &Xq,
+                            std::span<float> out) const;
+
     /** Serialize / parse a small text format. */
     void save(std::ostream &os) const;
     static ApolloModel load(std::istream &is);

@@ -146,7 +146,7 @@ trainApolloOnCounts(const CountDataset &train,
 
 ApolloTrainResult
 relaxProxySet(const Dataset &train,
-              const std::vector<uint32_t> &proxy_ids,
+              std::span<const uint32_t> proxy_ids,
               const ApolloTrainConfig &config,
               const std::string &design_name)
 {
@@ -155,7 +155,7 @@ relaxProxySet(const Dataset &train,
     BitFeatureView sel_view(X_sel);
     const CdResult relaxed = relaxOnColumns(sel_view, train.y, config);
     ProxySelection selection;
-    selection.proxyIds = proxy_ids;
+    selection.proxyIds.assign(proxy_ids.begin(), proxy_ids.end());
     ApolloTrainResult result =
         assembleResult(relaxed, std::move(selection), design_name);
     result.relaxSeconds = secondsSince(t0);

@@ -11,6 +11,7 @@
 #ifndef APOLLO_CORE_APOLLO_TRAINER_HH
 #define APOLLO_CORE_APOLLO_TRAINER_HH
 
+#include <span>
 #include <string>
 
 #include "core/apollo_model.hh"
@@ -66,7 +67,7 @@ ApolloTrainResult trainApolloOnCounts(const CountDataset &train,
  * (shared by baselines and by trainApollo itself).
  */
 ApolloTrainResult relaxProxySet(const Dataset &train,
-                                const std::vector<uint32_t> &proxy_ids,
+                                std::span<const uint32_t> proxy_ids,
                                 const ApolloTrainConfig &config,
                                 const std::string &design_name = "");
 

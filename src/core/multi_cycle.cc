@@ -12,7 +12,7 @@ namespace {
  */
 std::vector<float>
 predictWindowsImpl(const ApolloModel &model, const BitColumnMatrix &X,
-                   uint32_t T, const std::vector<SegmentInfo> &segments,
+                   uint32_t T, std::span<const SegmentInfo> segments,
                    bool proxy_layout)
 {
     APOLLO_REQUIRE(T >= 1, "window size must be positive");
@@ -45,7 +45,7 @@ predictWindowsImpl(const ApolloModel &model, const BitColumnMatrix &X,
 std::vector<float>
 MultiCycleModel::predictWindowsFull(
     const BitColumnMatrix &X, uint32_t T,
-    const std::vector<SegmentInfo> &segments) const
+    std::span<const SegmentInfo> segments) const
 {
     return predictWindowsImpl(base, X, T, segments, false);
 }
@@ -53,7 +53,7 @@ MultiCycleModel::predictWindowsFull(
 std::vector<float>
 MultiCycleModel::predictWindowsProxies(
     const BitColumnMatrix &Xq, uint32_t T,
-    const std::vector<SegmentInfo> &segments) const
+    std::span<const SegmentInfo> segments) const
 {
     return predictWindowsImpl(base, Xq, T, segments, true);
 }
@@ -76,8 +76,8 @@ trainMultiCycle(const Dataset &train, uint32_t tau,
 }
 
 std::vector<float>
-windowAverageLabels(const std::vector<float> &y, uint32_t T,
-                    const std::vector<SegmentInfo> &segments)
+windowAverageLabels(std::span<const float> y, uint32_t T,
+                    std::span<const SegmentInfo> segments)
 {
     std::vector<float> out;
     for (const SegmentInfo &seg : segments) {

@@ -16,6 +16,7 @@
 #define APOLLO_CORE_MULTI_CYCLE_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/apollo_model.hh"
@@ -37,12 +38,12 @@ struct MultiCycleModel
      */
     std::vector<float> predictWindowsFull(
         const BitColumnMatrix &X, uint32_t T,
-        const std::vector<SegmentInfo> &segments) const;
+        std::span<const SegmentInfo> segments) const;
 
     /** Same over a proxy-only matrix (columns follow base.proxyIds). */
     std::vector<float> predictWindowsProxies(
         const BitColumnMatrix &Xq, uint32_t T,
-        const std::vector<SegmentInfo> &segments) const;
+        std::span<const SegmentInfo> segments) const;
 };
 
 /** Train APOLLO_tau from a per-cycle dataset. */
@@ -55,8 +56,8 @@ MultiCycleModel trainMultiCycle(const Dataset &train, uint32_t tau,
  * consecutive T-cycle windows (per segment, full windows only).
  */
 std::vector<float> windowAverageLabels(
-    const std::vector<float> &y, uint32_t T,
-    const std::vector<SegmentInfo> &segments);
+    std::span<const float> y, uint32_t T,
+    std::span<const SegmentInfo> segments);
 
 } // namespace apollo
 

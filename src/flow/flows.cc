@@ -87,8 +87,24 @@ DesignTimeFlows::runEmulatorFlow(const Program &prog,
                                  uint64_t max_cycles,
                                  const ApolloModel &model)
 {
-    FlowReport rep;
+    VectorSink sink;
+    FlowReport rep =
+        runEmulatorFlowStreaming(prog, max_cycles, model, sink);
     rep.flowName = "emulator (proxy-only trace + model inference)";
+    rep.power = sink.takeValues();
+    return rep;
+}
+
+FlowReport
+DesignTimeFlows::runEmulatorFlowStreaming(const Program &prog,
+                                          uint64_t max_cycles,
+                                          const ApolloModel &model,
+                                          PowerSink &sink,
+                                          const StreamConfig &config)
+{
+    FlowReport rep;
+    rep.flowName =
+        "emulator-streaming (chunked proxy trace + sink inference)";
 
     auto t0 = Clock::now();
     DatasetBuilder builder(netlist_, coreParams_, powerParams_);
@@ -96,16 +112,22 @@ DesignTimeFlows::runEmulatorFlow(const Program &prog,
     rep.simSeconds = secondsSince(t0);
     rep.cycles = builder.frames().size();
 
-    auto t1 = Clock::now();
-    const std::vector<uint32_t> begin_of = builder.segmentBeginTable();
-    const BitColumnMatrix proxies = DatasetBuilder::traceProxies(
-        builder.engine(), builder.frames(), model.proxyIds, begin_of);
-    rep.traceSeconds = secondsSince(t1);
-    rep.traceBytes = proxies.byteSize();
+    // Proxy bits are generated chunk by chunk straight from the frame
+    // history (identical bits to DatasetBuilder::traceProxies — the
+    // activity engine is a pure function of (signal, cycle)) and flow
+    // through the streaming engine into the sink.
+    FrameProxyChunkReader reader(builder.engine(), builder.frames(),
+                                 model.proxyIds,
+                                 builder.segmentBeginTable());
+    const StreamingInference engine(model);
+    StatusOr<StreamStats> stats = engine.run(reader, sink, config);
+    // Flow configuration/sink failures are caller errors at this layer.
+    if (!stats.ok())
+        fatal(stats.status().toString());
 
-    auto t2 = Clock::now();
-    rep.power = model.predictProxies(proxies);
-    rep.powerSeconds = secondsSince(t2);
+    rep.traceSeconds = stats->readSeconds;
+    rep.powerSeconds = stats->inferSeconds;
+    rep.traceBytes = stats->traceBytes;
     return rep;
 }
 

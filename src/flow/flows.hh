@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/apollo_model.hh"
+#include "flow/stream_engine.hh"
 #include "power/power_oracle.hh"
 #include "trace/toggle_trace.hh"
 #include "uarch/core.hh"
@@ -65,9 +66,29 @@ class DesignTimeFlows
     FlowReport runApolloFlow(const Program &prog, uint64_t max_cycles,
                              const ApolloModel &model);
 
-    /** Fig. 7(c): proxy-only trace + APOLLO model inference. */
+    /**
+     * Fig. 7(c): proxy-only trace + APOLLO model inference. Runs on
+     * the streaming backbone (chunked proxy-bit generation + streaming
+     * inference) and collects the per-cycle power into the report;
+     * results are bit-identical to the former batch implementation
+     * (traceProxies + predictProxies).
+     */
     FlowReport runEmulatorFlow(const Program &prog, uint64_t max_cycles,
                                const ApolloModel &model);
+
+    /**
+     * Fig. 7(c) with a caller-owned sink: proxy bits are generated
+     * chunk by chunk and power samples are delivered to @p sink, so
+     * nothing proportional to the trace length is ever resident —
+     * FlowReport::power stays empty. traceSeconds/powerSeconds map to
+     * the streaming engine's read/infer stages and traceBytes counts
+     * the packed proxy bits streamed.
+     */
+    FlowReport runEmulatorFlowStreaming(const Program &prog,
+                                        uint64_t max_cycles,
+                                        const ApolloModel &model,
+                                        PowerSink &sink,
+                                        const StreamConfig &config = {});
 
   private:
     const Netlist &netlist_;

@@ -1,0 +1,288 @@
+#include "flow/stream_engine.hh"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <ostream>
+
+#include "opm/opm_simulator.hh"
+#include "util/thread_pool.hh"
+
+namespace apollo {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** One in-flight chunk plus its per-cycle sums. */
+struct Slot
+{
+    ProxyChunk chunk;
+    size_t rows = 0;
+    std::vector<float> fsums;   ///< float engines
+    std::vector<int64_t> isums; ///< quantized engine
+
+    uint64_t
+    bufferBytes() const
+    {
+        return chunk.bits.byteSize() +
+               fsums.capacity() * sizeof(float) +
+               isums.capacity() * sizeof(int64_t);
+    }
+};
+
+} // namespace
+
+Status
+StreamConfig::validate() const
+{
+    if (chunkCycles == 0)
+        return Status::invalidArgument("chunkCycles must be positive");
+    if (windowT != 0 && !std::has_single_bit(windowT))
+        return Status::invalidArgument("windowT must be a power of two, "
+                                       "got ",
+                                       windowT);
+    return Status::okStatus();
+}
+
+RingBufferSink::RingBufferSink(size_t capacity) : capacity_(capacity)
+{
+    APOLLO_REQUIRE(capacity > 0, "ring buffer needs capacity > 0");
+}
+
+Status
+RingBufferSink::consume(uint64_t, std::span<const float> values)
+{
+    totalSeen_ += values.size();
+    // Only the last capacity_ values of a large batch can survive.
+    const size_t keep = std::min(values.size(), capacity_);
+    if (keep < values.size())
+        ring_.clear();
+    for (size_t i = values.size() - keep; i < values.size(); ++i) {
+        if (ring_.size() == capacity_)
+            ring_.pop_front();
+        ring_.push_back(values[i]);
+    }
+    return Status::okStatus();
+}
+
+std::vector<float>
+RingBufferSink::latest() const
+{
+    return std::vector<float>(ring_.begin(), ring_.end());
+}
+
+CsvPowerSink::CsvPowerSink(std::ostream &os, bool header) : os_(os)
+{
+    if (header)
+        os_ << "index,power\n";
+}
+
+Status
+CsvPowerSink::consume(uint64_t first_index, std::span<const float> values)
+{
+    for (size_t i = 0; i < values.size(); ++i)
+        os_ << first_index + i << ',' << values[i] << '\n';
+    if (!os_)
+        return Status::ioError("CSV power sink write failed");
+    return Status::okStatus();
+}
+
+Status
+CsvPowerSink::finish(uint64_t)
+{
+    os_.flush();
+    if (!os_)
+        return Status::ioError("CSV power sink flush failed");
+    return Status::okStatus();
+}
+
+StreamingInference::StreamingInference(ApolloModel model)
+    : model_(std::move(model))
+{
+    APOLLO_REQUIRE(!model_.proxyIds.empty(), "empty model");
+    APOLLO_REQUIRE(model_.weights.size() == model_.proxyIds.size(),
+                   "model weight/proxy arity mismatch");
+}
+
+StreamingInference::StreamingInference(QuantizedModel model, uint32_t T)
+    : qmodel_(std::move(model)), qwindowT_(T)
+{
+    // Construct a simulator once to run the width/argument checks
+    // eagerly (invalid T or an empty model is a configuration error).
+    OpmSimulator checker(*qmodel_, T);
+    (void)checker;
+}
+
+size_t
+StreamingInference::proxyCount() const
+{
+    return qmodel_ ? qmodel_->proxyCount() : model_.proxyCount();
+}
+
+StatusOr<StreamStats>
+StreamingInference::run(ProxyChunkReader &reader, PowerSink &sink,
+                        const StreamConfig &config) const
+{
+    if (Status s = config.validate(); !s.ok())
+        return s;
+
+    const bool quantized = qmodel_.has_value();
+    if (quantized && config.windowT != 0 && config.windowT != qwindowT_)
+        return Status::invalidArgument(
+            "quantized engine runs at its construction window T=",
+            qwindowT_, ", config requested ", config.windowT);
+    const uint32_t T = quantized ? qwindowT_ : config.windowT;
+
+    // Arity is validated per chunk below: file/VCD readers only learn
+    // their proxy count after the first read.
+    const size_t q = proxyCount();
+
+    const size_t in_flight =
+        config.chunksInFlight
+            ? config.chunksInFlight
+            : std::max<size_t>(2, ThreadPool::global().threadCount());
+
+    std::optional<OpmSimulator> sim;
+    if (quantized)
+        sim.emplace(*qmodel_, T);
+
+    std::vector<Slot> slots(in_flight);
+    StreamStats stats;
+
+    // Sequential window state carried across chunks (float Eq. 9 mode;
+    // matches the per-segment double accumulator of
+    // MultiCycleModel::predictWindows* with the whole trace as one
+    // segment — a trailing partial window produces no sample).
+    double window_acc = 0.0;
+    uint32_t window_phase = 0;
+    std::vector<float> emit; // staging for windowed/quantized samples
+
+    bool at_end = false;
+    while (!at_end && !stats.cancelled) {
+        // 1) Fill slots. Readers are sequential by contract, so reads
+        //    are not parallelized; compute below is.
+        size_t filled = 0;
+        auto t0 = Clock::now();
+        while (filled < in_flight) {
+            Slot &slot = slots[filled];
+            StatusOr<size_t> got =
+                reader.next(config.chunkCycles, slot.chunk);
+            if (!got.ok())
+                return got.status();
+            if (*got == 0) {
+                at_end = true;
+                break;
+            }
+            if (slot.chunk.proxies() != q)
+                return Status::invalidArgument(
+                    "reader serves ", slot.chunk.proxies(),
+                    " proxies, model expects ", q);
+            slot.rows = *got;
+            stats.chunks++;
+            stats.cycles += slot.rows;
+            stats.traceBytes += slot.chunk.bits.byteSize();
+            filled++;
+        }
+        stats.readSeconds += secondsSince(t0);
+        if (filled == 0)
+            break;
+
+        // 2) Per-cycle sums for all filled slots, slot-parallel. Each
+        //    slot's result depends only on its own chunk, so the split
+        //    cannot change values.
+        auto t1 = Clock::now();
+        parallelFor(filled, [&](size_t s0, size_t s1) {
+            for (size_t s = s0; s < s1; ++s) {
+                Slot &slot = slots[s];
+                if (quantized) {
+                    slot.isums.assign(slot.rows, qmodel_->qintercept);
+                    for (size_t c = 0; c < q; ++c)
+                        if (qmodel_->qweights[c] != 0)
+                            slot.chunk.bits.axpyColumnI64(
+                                c, qmodel_->qweights[c],
+                                slot.isums.data());
+                } else if (T > 0) {
+                    // Weighted sums *without* intercept, like
+                    // predictWindowsImpl's per_cycle vector.
+                    slot.fsums.assign(slot.rows, 0.0f);
+                    for (size_t c = 0; c < q; ++c)
+                        if (model_.weights[c] != 0.0f)
+                            slot.chunk.bits.axpyColumn(
+                                c, model_.weights[c],
+                                slot.fsums.data());
+                } else {
+                    slot.fsums.resize(slot.rows);
+                    model_.predictProxiesInto(slot.chunk.bits,
+                                              slot.fsums);
+                }
+            }
+        });
+
+        // 3) Ordered emission: replay slot results in cycle order
+        //    through the sequential window state.
+        for (size_t s = 0; s < filled && !stats.cancelled; ++s) {
+            Slot &slot = slots[s];
+            Status sunk = Status::okStatus();
+            if (quantized) {
+                emit.clear();
+                for (size_t i = 0; i < slot.rows; ++i) {
+                    const OpmSimulator::Output out =
+                        sim->stepSum(slot.isums[i]);
+                    if (out.valid)
+                        emit.push_back(static_cast<float>(out.power));
+                }
+                if (!emit.empty())
+                    sunk = sink.consume(stats.outputs, emit);
+                stats.outputs += emit.size();
+            } else if (T > 0) {
+                emit.clear();
+                for (size_t i = 0; i < slot.rows; ++i) {
+                    window_acc += slot.fsums[i];
+                    if (++window_phase == T) {
+                        emit.push_back(static_cast<float>(
+                            model_.intercept +
+                            window_acc / static_cast<double>(T)));
+                        window_acc = 0.0;
+                        window_phase = 0;
+                    }
+                }
+                if (!emit.empty())
+                    sunk = sink.consume(stats.outputs, emit);
+                stats.outputs += emit.size();
+            } else {
+                sunk = sink.consume(
+                    slot.chunk.firstCycle,
+                    std::span<const float>(slot.fsums.data(),
+                                           slot.rows));
+                stats.outputs += slot.rows;
+            }
+            if (!sunk.ok()) {
+                if (sunk.code() == StatusCode::Cancelled)
+                    stats.cancelled = true;
+                else
+                    return sunk;
+            }
+        }
+        stats.inferSeconds += secondsSince(t1);
+
+        uint64_t held = 0;
+        for (const Slot &slot : slots)
+            held += slot.bufferBytes();
+        held += emit.capacity() * sizeof(float);
+        stats.peakBufferBytes = std::max(stats.peakBufferBytes, held);
+    }
+
+    if (Status fin = sink.finish(stats.outputs); !fin.ok() &&
+        fin.code() != StatusCode::Cancelled)
+        return fin;
+    return stats;
+}
+
+} // namespace apollo

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Bounded-memory streaming inference: the trace-to-power pipeline that
+ * turns any ProxyChunkReader (trace/stream_reader.hh) into a stream of
+ * power samples delivered to a PowerSink, without ever holding the full
+ * trace or the full output in memory.
+ *
+ * The engine works in rounds: it reads up to chunksInFlight chunks,
+ * computes each chunk's per-cycle sums in parallel (the chunks are
+ * independent), then replays the results through the sequential
+ * window/accumulator state in cycle order. Results are bit-identical to
+ * the batch paths:
+ *
+ *  - per-cycle float: each chunk worker calls the same
+ *    ApolloModel::predictProxiesInto kernel the batch predictProxies()
+ *    uses, and per output element the float additions (intercept, then
+ *    w_q per set bit in ascending q) do not depend on row chunking;
+ *  - windowed float (Eq. 9): per-cycle sums accumulate like
+ *    MultiCycleModel::predictWindowsProxies — float axpy per column,
+ *    then a double window accumulator that carries across chunk
+ *    boundaries, emitting float(intercept + acc/T) every T cycles;
+ *  - quantized: per-cycle integer sums are exact in any evaluation
+ *    order, so parallel column-wise accumulation
+ *    (BitColumnMatrix::axpyColumnI64) followed by ordered
+ *    OpmSimulator::stepSum replay equals OpmSimulator::simulate().
+ *
+ * Peak memory is O(chunksInFlight * chunkCycles * Q / 8) regardless of
+ * trace length (StreamStats::peakBufferBytes reports the engine's
+ * accounting; bench/bench_stream_infer.cc checks it stays flat at 10x
+ * the trace length).
+ */
+
+#ifndef APOLLO_FLOW_STREAM_ENGINE_HH
+#define APOLLO_FLOW_STREAM_ENGINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/apollo_model.hh"
+#include "opm/quantize.hh"
+#include "trace/stream_reader.hh"
+#include "util/status.hh"
+
+namespace apollo {
+
+/**
+ * Tuning knobs for a streaming run. Defaults are chosen so that one
+ * in-flight chunk (16384 cycles x Q bits plus one float per cycle)
+ * fits comfortably in L2 on current cores:
+ *
+ *   chunkCycles    16384  rows per chunk served to the workers
+ *   chunksInFlight 0      auto: max(2, worker threads)
+ *   windowT        0      per-cycle output; a power of two T enables
+ *                         Eq. (9) window averaging (float engine only —
+ *                         the quantized engine fixes T at construction)
+ *
+ * Setters validate eagerly and chain:
+ *   StreamConfig().withChunkCycles(4096).withWindowT(32)
+ */
+struct StreamConfig
+{
+    size_t chunkCycles = 1 << 14;
+    size_t chunksInFlight = 0;
+    uint32_t windowT = 0;
+
+    StreamConfig &
+    withChunkCycles(size_t cycles)
+    {
+        chunkCycles = cycles;
+        return *this;
+    }
+
+    StreamConfig &
+    withChunksInFlight(size_t chunks)
+    {
+        chunksInFlight = chunks;
+        return *this;
+    }
+
+    StreamConfig &
+    withWindowT(uint32_t T)
+    {
+        windowT = T;
+        return *this;
+    }
+
+    /** Ok, or InvalidArgument naming the offending field. */
+    Status validate() const;
+};
+
+/**
+ * Receives power samples in order. @p first_index is the global index
+ * of values[0]: a cycle index in per-cycle mode, a window index in
+ * windowed/quantized mode. Returning a non-ok Status stops the run;
+ * StatusCode::Cancelled stops it gracefully (the engine still calls
+ * finish() and reports stats), any other code aborts with that error.
+ */
+class PowerSink
+{
+  public:
+    virtual ~PowerSink() = default;
+
+    virtual Status consume(uint64_t first_index,
+                           std::span<const float> values) = 0;
+
+    /** Called once after the last consume() with the sample total. */
+    virtual Status finish(uint64_t) { return Status::okStatus(); }
+};
+
+/** Collects every sample into a vector (tests, short traces). */
+class VectorSink : public PowerSink
+{
+  public:
+    Status
+    consume(uint64_t, std::span<const float> values) override
+    {
+        values_.insert(values_.end(), values.begin(), values.end());
+        return Status::okStatus();
+    }
+
+    const std::vector<float> &values() const { return values_; }
+    std::vector<float> takeValues() { return std::move(values_); }
+
+  private:
+    std::vector<float> values_;
+};
+
+/** Forwards every batch of samples to a callback. */
+class CallbackSink : public PowerSink
+{
+  public:
+    using Fn = std::function<Status(uint64_t, std::span<const float>)>;
+
+    explicit CallbackSink(Fn fn) : fn_(std::move(fn)) {}
+
+    Status
+    consume(uint64_t first_index, std::span<const float> values) override
+    {
+        return fn_(first_index, values);
+    }
+
+  private:
+    Fn fn_;
+};
+
+/**
+ * Keeps only the most recent @p capacity samples — the runtime
+ * introspection shape: a power-management agent polling a rolling
+ * window of OPM output.
+ */
+class RingBufferSink : public PowerSink
+{
+  public:
+    explicit RingBufferSink(size_t capacity);
+
+    Status consume(uint64_t first_index,
+                   std::span<const float> values) override;
+
+    /** Samples currently held, oldest first. */
+    std::vector<float> latest() const;
+    /** Global index of the oldest held sample. */
+    uint64_t firstIndex() const { return totalSeen_ - ring_.size(); }
+    uint64_t totalSeen() const { return totalSeen_; }
+
+  private:
+    size_t capacity_;
+    std::deque<float> ring_;
+    uint64_t totalSeen_ = 0;
+};
+
+/** Writes "index,power" CSV rows as samples arrive. */
+class CsvPowerSink : public PowerSink
+{
+  public:
+    /** @p os is kept by reference. */
+    explicit CsvPowerSink(std::ostream &os, bool header = true);
+
+    Status consume(uint64_t first_index,
+                   std::span<const float> values) override;
+    Status finish(uint64_t total) override;
+
+  private:
+    std::ostream &os_;
+};
+
+/** Accounting for one streaming run. */
+struct StreamStats
+{
+    uint64_t cycles = 0;   ///< trace cycles consumed
+    uint64_t outputs = 0;  ///< power samples delivered to the sink
+    uint64_t chunks = 0;   ///< chunks read
+    double readSeconds = 0.0;   ///< time inside reader.next()
+    double inferSeconds = 0.0;  ///< compute + ordered emission time
+    uint64_t traceBytes = 0;    ///< packed proxy-trace bytes streamed
+    /** High-water mark of engine-owned buffers (chunks + sums). */
+    uint64_t peakBufferBytes = 0;
+    bool cancelled = false;  ///< a sink returned Cancelled
+};
+
+/**
+ * The streaming inference engine. Construct once per model; run() is
+ * const and carries no state between calls, so one engine can serve
+ * many traces.
+ */
+class StreamingInference
+{
+  public:
+    /**
+     * Float-weight engine over a proxy-layout trace. Output mode is
+     * per-cycle, or Eq. (9) windows when config.windowT > 0.
+     */
+    explicit StreamingInference(ApolloModel model);
+
+    /**
+     * Quantized fixed-point engine: bit-true OPM evaluation (one
+     * sample per T-cycle window, T a power of two), matching
+     * OpmSimulator::simulate() exactly.
+     */
+    StreamingInference(QuantizedModel model, uint32_t T);
+
+    size_t proxyCount() const;
+
+    /**
+     * Pump @p reader to exhaustion through @p sink. Returns run stats,
+     * or the first reader/sink/config error.
+     */
+    StatusOr<StreamStats> run(ProxyChunkReader &reader, PowerSink &sink,
+                              const StreamConfig &config = {}) const;
+
+  private:
+    ApolloModel model_;
+    std::optional<QuantizedModel> qmodel_;
+    uint32_t qwindowT_ = 0;
+};
+
+} // namespace apollo
+
+#endif // APOLLO_FLOW_STREAM_ENGINE_HH

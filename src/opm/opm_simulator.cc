@@ -41,8 +41,8 @@ OpmSimulator::reset()
     phase_ = 0;
 }
 
-OpmSimulator::Output
-OpmSimulator::step(const uint64_t *proxy_bits)
+int64_t
+OpmSimulator::cycleSum(const uint64_t *proxy_bits) const
 {
     // "Power computation": AND-gated weight accumulation — no
     // multipliers, the weight either enters the adder tree or not.
@@ -59,6 +59,18 @@ OpmSimulator::step(const uint64_t *proxy_bits)
             cycle_sum += model_.qweights[q];
         }
     }
+    return cycle_sum;
+}
+
+OpmSimulator::Output
+OpmSimulator::step(const uint64_t *proxy_bits)
+{
+    return stepSum(cycleSum(proxy_bits));
+}
+
+OpmSimulator::Output
+OpmSimulator::stepSum(int64_t cycle_sum)
+{
     // The declared cycle-sum width must never overflow.
     const int64_t cycle_limit = 1LL << cycleSumBits_;
     APOLLO_ASSERT(cycle_sum > -cycle_limit && cycle_sum < cycle_limit,

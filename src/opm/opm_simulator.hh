@@ -44,6 +44,24 @@ class OpmSimulator
      */
     Output step(const uint64_t *proxy_bits);
 
+    /**
+     * The combinational "power computation" stage alone: the AND-gated
+     * weighted sum of one cycle's proxy bits (plus the quantized
+     * intercept), without touching accumulator state. Pure function;
+     * the streaming engine evaluates it for whole chunks in parallel
+     * and feeds the sums through stepSum() in cycle order, which is
+     * bit-identical to calling step() cycle by cycle because integer
+     * accumulation is exact.
+     */
+    int64_t cycleSum(const uint64_t *proxy_bits) const;
+
+    /**
+     * The sequential accumulate-then-shift stage: add one cycle's
+     * precomputed sum, enforce the declared widths, and emit the
+     * window average every T cycles. step() == stepSum(cycleSum()).
+     */
+    Output stepSum(int64_t cycle_sum);
+
     void reset();
 
     /** Bit width of the per-cycle weighted sum. */

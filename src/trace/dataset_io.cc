@@ -22,19 +22,17 @@ writePod(std::ostream &os, const T &value)
 }
 
 template <typename T>
-T
-readPod(std::istream &is)
+bool
+readPod(std::istream &is, T &value)
 {
-    T value{};
     is.read(reinterpret_cast<char *>(&value), sizeof(T));
-    APOLLO_REQUIRE(static_cast<bool>(is), "truncated dataset stream");
-    return value;
+    return static_cast<bool>(is);
 }
 
 } // namespace
 
-void
-saveDataset(std::ostream &os, const Dataset &dataset)
+Status
+trySaveDataset(std::ostream &os, const Dataset &dataset)
 {
     os.write(magic, sizeof(magic));
     writePod(os, version);
@@ -55,27 +53,34 @@ saveDataset(std::ostream &os, const Dataset &dataset)
         writePod<uint64_t>(os, seg.begin);
         writePod<uint64_t>(os, seg.end);
     }
-    APOLLO_REQUIRE(static_cast<bool>(os), "dataset write failed");
+    if (!os)
+        return Status::ioError("dataset write failed");
+    return Status::okStatus();
 }
 
-Dataset
-loadDataset(std::istream &is)
+StatusOr<Dataset>
+tryLoadDataset(std::istream &is)
 {
     char header[4] = {};
     is.read(header, sizeof(header));
-    APOLLO_REQUIRE(static_cast<bool>(is) &&
-                       std::memcmp(header, magic, sizeof(magic)) == 0,
-                   "not an apollo dataset stream");
-    const auto file_version = readPod<uint32_t>(is);
-    APOLLO_REQUIRE(file_version == version, "unsupported dataset "
-                                            "version ", file_version);
+    if (!is || std::memcmp(header, magic, sizeof(header)) != 0)
+        return Status::parseError("not an apollo dataset stream");
+    uint32_t file_version = 0;
+    if (!readPod(is, file_version))
+        return Status::ioError("truncated dataset stream");
+    if (file_version != version)
+        return Status::parseError("unsupported dataset version ",
+                                  file_version);
 
     Dataset ds;
-    const auto rows = readPod<uint64_t>(is);
-    const auto cols = readPod<uint64_t>(is);
-    APOLLO_REQUIRE(rows > 0 && cols > 0 && rows < (1ULL << 32) &&
-                       cols < (1ULL << 32),
-                   "implausible dataset dimensions");
+    uint64_t rows = 0;
+    uint64_t cols = 0;
+    if (!readPod(is, rows) || !readPod(is, cols))
+        return Status::ioError("truncated dataset stream");
+    if (rows == 0 || cols == 0 || rows >= (1ULL << 32) ||
+        cols >= (1ULL << 32))
+        return Status::parseError("implausible dataset dimensions ",
+                                  rows, " x ", cols);
     ds.X.reset(rows, cols);
     for (size_t c = 0; c < cols; ++c) {
         is.read(reinterpret_cast<char *>(ds.X.colWordsMutable(c)),
@@ -85,40 +90,83 @@ loadDataset(std::istream &is)
     ds.y.resize(rows);
     is.read(reinterpret_cast<char *>(ds.y.data()),
             static_cast<std::streamsize>(rows * sizeof(float)));
-    APOLLO_REQUIRE(static_cast<bool>(is), "truncated dataset stream");
+    if (!is)
+        return Status::ioError("truncated dataset stream");
 
-    const auto n_segments = readPod<uint64_t>(is);
-    APOLLO_REQUIRE(n_segments <= rows, "implausible segment count");
+    uint64_t n_segments = 0;
+    if (!readPod(is, n_segments))
+        return Status::ioError("truncated dataset stream");
+    if (n_segments > rows)
+        return Status::parseError("implausible segment count ",
+                                  n_segments);
     ds.segments.resize(n_segments);
     for (SegmentInfo &seg : ds.segments) {
-        const auto name_len = readPod<uint64_t>(is);
-        APOLLO_REQUIRE(name_len < 4096, "implausible segment name");
+        uint64_t name_len = 0;
+        if (!readPod(is, name_len))
+            return Status::ioError("truncated dataset stream");
+        if (name_len >= 4096)
+            return Status::parseError("implausible segment name length ",
+                                      name_len);
         seg.name.resize(name_len);
         is.read(seg.name.data(),
                 static_cast<std::streamsize>(name_len));
-        seg.begin = readPod<uint64_t>(is);
-        seg.end = readPod<uint64_t>(is);
-        APOLLO_REQUIRE(seg.begin <= seg.end && seg.end <= rows,
-                       "segment out of range");
+        if (!readPod(is, seg.begin) || !readPod(is, seg.end))
+            return Status::ioError("truncated dataset stream");
+        if (seg.begin > seg.end || seg.end > rows)
+            return Status::parseError("segment [", seg.begin, ", ",
+                                      seg.end, ") out of range");
     }
-    APOLLO_REQUIRE(static_cast<bool>(is), "truncated dataset stream");
+    if (!is)
+        return Status::ioError("truncated dataset stream");
     return ds;
+}
+
+Status
+trySaveDatasetFile(const std::string &path, const Dataset &dataset)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os.is_open())
+        return Status::ioError("cannot open ", path, " for writing");
+    return trySaveDataset(os, dataset);
+}
+
+StatusOr<Dataset>
+tryLoadDatasetFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is.is_open())
+        return Status::ioError("cannot open ", path);
+    return tryLoadDataset(is);
+}
+
+void
+saveDataset(std::ostream &os, const Dataset &dataset)
+{
+    trySaveDataset(os, dataset).orFatal();
+}
+
+Dataset
+loadDataset(std::istream &is)
+{
+    StatusOr<Dataset> ds = tryLoadDataset(is);
+    if (!ds.ok())
+        fatal(ds.status().toString());
+    return std::move(*ds);
 }
 
 void
 saveDatasetFile(const std::string &path, const Dataset &dataset)
 {
-    std::ofstream os(path, std::ios::binary);
-    APOLLO_REQUIRE(os.is_open(), "cannot open ", path, " for writing");
-    saveDataset(os, dataset);
+    trySaveDatasetFile(path, dataset).orFatal();
 }
 
 Dataset
 loadDatasetFile(const std::string &path)
 {
-    std::ifstream is(path, std::ios::binary);
-    APOLLO_REQUIRE(is.is_open(), "cannot open ", path);
-    return loadDataset(is);
+    StatusOr<Dataset> ds = tryLoadDatasetFile(path);
+    if (!ds.ok())
+        fatal(ds.status().toString());
+    return std::move(*ds);
 }
 
 } // namespace apollo

@@ -17,16 +17,28 @@
 #include <string>
 
 #include "trace/dataset.hh"
+#include "util/status.hh"
 
 namespace apollo {
 
-/** Serialize @p dataset to a binary stream. */
+/**
+ * Status-returning core API: malformed or truncated input is an
+ * expected condition when ingesting third-party artifacts, so these
+ * report it as a value instead of unwinding.
+ */
+Status trySaveDataset(std::ostream &os, const Dataset &dataset);
+StatusOr<Dataset> tryLoadDataset(std::istream &is);
+Status trySaveDatasetFile(const std::string &path,
+                          const Dataset &dataset);
+StatusOr<Dataset> tryLoadDatasetFile(const std::string &path);
+
+/** Serialize @p dataset to a binary stream (throws FatalError). */
 void saveDataset(std::ostream &os, const Dataset &dataset);
 
 /** Parse a dataset; throws FatalError on malformed input. */
 Dataset loadDataset(std::istream &is);
 
-/** File-path conveniences. */
+/** File-path conveniences (throwing wrappers of the try* forms). */
 void saveDatasetFile(const std::string &path, const Dataset &dataset);
 Dataset loadDatasetFile(const std::string &path);
 

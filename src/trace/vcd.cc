@@ -84,8 +84,8 @@ VcdWriter::finish()
     os_.flush();
 }
 
-VcdTrace
-parseVcd(std::istream &is)
+StatusOr<VcdTrace>
+tryParseVcd(std::istream &is)
 {
     std::vector<std::string> names;
     std::map<std::string, size_t> id_to_index;
@@ -95,7 +95,8 @@ parseVcd(std::istream &is)
     while (is >> token) {
         if (token == "$var") {
             std::string type, width, id, name;
-            is >> type >> width >> id >> name;
+            if (!(is >> type >> width >> id >> name))
+                return Status::ioError("truncated VCD $var");
             id_to_index[id] = names.size();
             names.push_back(name);
             // consume "$end"
@@ -105,7 +106,8 @@ parseVcd(std::istream &is)
             break;
         }
     }
-    APOLLO_REQUIRE(!names.empty(), "VCD has no $var declarations");
+    if (names.empty())
+        return Status::parseError("VCD has no $var declarations");
 
     // Value changes. First pass into a sparse (cycle, index) list.
     std::vector<std::pair<uint64_t, size_t>> flips;
@@ -124,15 +126,19 @@ parseVcd(std::istream &is)
             continue;
         }
         if (token[0] == '#') {
-            cycle = std::stoull(token.substr(1));
+            try {
+                cycle = std::stoull(token.substr(1));
+            } catch (...) {
+                return Status::parseError("bad VCD timestamp ", token);
+            }
             max_cycle = std::max(max_cycle, cycle);
             continue;
         }
         if (token[0] == '0' || token[0] == '1') {
             const std::string id = token.substr(1);
             auto it = id_to_index.find(id);
-            APOLLO_REQUIRE(it != id_to_index.end(),
-                           "unknown VCD id ", id);
+            if (it == id_to_index.end())
+                return Status::parseError("unknown VCD id ", id);
             const uint8_t v = token[0] == '1' ? 1 : 0;
             if (!in_dumpvars && v != value[it->second])
                 flips.emplace_back(cycle, it->second);
@@ -148,6 +154,15 @@ parseVcd(std::istream &is)
             trace.toggles.setBit(flip_cycle, index);
     }
     return trace;
+}
+
+VcdTrace
+parseVcd(std::istream &is)
+{
+    StatusOr<VcdTrace> trace = tryParseVcd(is);
+    if (!trace.ok())
+        fatal(trace.status().toString());
+    return std::move(*trace);
 }
 
 } // namespace apollo

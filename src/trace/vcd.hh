@@ -19,6 +19,7 @@
 
 #include "rtl/netlist.hh"
 #include "util/bitvec.hh"
+#include "util/status.hh"
 
 namespace apollo {
 
@@ -67,7 +68,14 @@ struct VcdTrace
     BitColumnMatrix toggles;
 };
 
-/** Parse a VCD produced by VcdWriter (subset of the VCD grammar). */
+/**
+ * Parse a VCD produced by VcdWriter (subset of the VCD grammar),
+ * reporting malformed input as a Status value. For bounded-memory
+ * ingestion of long dumps use trace/stream_reader.hh's VcdChunkReader.
+ */
+StatusOr<VcdTrace> tryParseVcd(std::istream &is);
+
+/** Throwing wrapper of tryParseVcd (throws FatalError). */
 VcdTrace parseVcd(std::istream &is);
 
 } // namespace apollo

@@ -16,6 +16,7 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <span>
 #include <vector>
 
@@ -262,11 +263,60 @@ class BitColumnMatrix
     }
 
     /**
+     * Integer axpy: acc[row] += delta for every set bit in column
+     * @p col. The quantized streaming engine evaluates the OPM adder
+     * tree column-wise with this — O(set bits) total instead of the
+     * O(rows x cols) row gather of OpmSimulator::simulate() — and
+     * integer addition is exact, so the per-cycle sums match
+     * OpmSimulator::cycleSum() bit for bit in any order.
+     */
+    void
+    axpyColumnI64(size_t col, int64_t delta, int64_t *acc) const
+    {
+        const uint64_t *w = colWords(col);
+        for (size_t k = 0; k < wordsPerCol_; ++k) {
+            uint64_t bits = w[k];
+            while (bits) {
+                const int b = std::countr_zero(bits);
+                acc[k * 64 + static_cast<size_t>(b)] += delta;
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /**
      * Build the sub-matrix containing only @p selected columns (in the
      * given order).
      */
-    BitColumnMatrix selectColumns(const std::vector<uint32_t> &selected)
+    BitColumnMatrix selectColumns(std::span<const uint32_t> selected)
         const;
+    BitColumnMatrix
+    selectColumns(std::initializer_list<uint32_t> selected) const
+    {
+        return selectColumns(
+            std::span<const uint32_t>(selected.begin(), selected.size()));
+    }
+
+    /**
+     * Copy rows [first, first+n) of every column into @p out (resized
+     * to n x cols()). Word-aligned when first is a multiple of 64, a
+     * funnel-shift copy otherwise; trailing bits past n are cleared, so
+     * the output honors the packed-kernel zero-tail contract. This is
+     * the chunking primitive of the streaming readers
+     * (trace/stream_reader.hh): re-slicing never changes bit values, so
+     * chunked inference stays bit-identical to the batch path.
+     */
+    void sliceRowsInto(size_t first, size_t n, BitColumnMatrix &out)
+        const;
+
+    /** Convenience wrapper returning a fresh matrix. */
+    BitColumnMatrix
+    sliceRows(size_t first, size_t n) const
+    {
+        BitColumnMatrix out;
+        sliceRowsInto(first, n, out);
+        return out;
+    }
 
   private:
     size_t rows_ = 0;

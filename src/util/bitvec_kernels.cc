@@ -225,18 +225,23 @@ axpyWordsAvx512(const uint64_t *words, size_t nwords, size_t nrows,
             continue;
         float *v = dense + (k << 6);
         if (std::popcount(bits) >= kVectorMinBits) {
+            // Loads are masked as well as stores: the tail word of an
+            // unpadded dense buffer must not be read past its end.
             const auto m0 = static_cast<__mmask16>(bits);
             const auto m1 = static_cast<__mmask16>(bits >> 16);
             const auto m2 = static_cast<__mmask16>(bits >> 32);
             const auto m3 = static_cast<__mmask16>(bits >> 48);
             _mm512_mask_storeu_ps(
-                v, m0, _mm512_add_ps(_mm512_loadu_ps(v), d));
+                v, m0, _mm512_add_ps(_mm512_maskz_loadu_ps(m0, v), d));
             _mm512_mask_storeu_ps(
-                v + 16, m1, _mm512_add_ps(_mm512_loadu_ps(v + 16), d));
+                v + 16, m1,
+                _mm512_add_ps(_mm512_maskz_loadu_ps(m1, v + 16), d));
             _mm512_mask_storeu_ps(
-                v + 32, m2, _mm512_add_ps(_mm512_loadu_ps(v + 32), d));
+                v + 32, m2,
+                _mm512_add_ps(_mm512_maskz_loadu_ps(m2, v + 32), d));
             _mm512_mask_storeu_ps(
-                v + 48, m3, _mm512_add_ps(_mm512_loadu_ps(v + 48), d));
+                v + 48, m3,
+                _mm512_add_ps(_mm512_maskz_loadu_ps(m3, v + 48), d));
         } else {
             while (bits) {
                 v[std::countr_zero(bits)] += delta;

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Status / StatusOr<T>: recoverable-error returns for the data-ingestion
+ * and streaming layers.
+ *
+ * The library keeps two error regimes:
+ *  - programming errors and invalid configuration use
+ *    APOLLO_REQUIRE/fatal() (throwing FatalError), as before;
+ *  - *data* errors — malformed trace files, truncated streams, I/O
+ *    failures — are expected at production scale and are returned as
+ *    values, so a server ingesting thousands of traces can reject one
+ *    bad artifact without unwinding. The streaming pipeline
+ *    (trace/stream_reader.hh, flow/stream_engine.hh) and the try*
+ *    variants of the dataset/VCD loaders use these types uniformly.
+ */
+
+#ifndef APOLLO_UTIL_STATUS_HH
+#define APOLLO_UTIL_STATUS_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace apollo {
+
+/** Machine-inspectable error category. */
+enum class StatusCode : uint8_t
+{
+    Ok = 0,
+    /** Caller passed an argument the callee cannot serve. */
+    InvalidArgument,
+    /** Input data is malformed (bad magic, corrupt structure). */
+    ParseError,
+    /** The underlying stream/file failed or ended prematurely. */
+    IoError,
+    /** A bound (index, size, width) was exceeded. */
+    OutOfRange,
+    /** A sink or callback asked the pipeline to stop. */
+    Cancelled,
+};
+
+/** Human-readable name of a status code. */
+const char *statusCodeName(StatusCode code);
+
+/** A success-or-error value; default-constructed Status is OK. */
+class [[nodiscard]] Status
+{
+  public:
+    Status() = default;
+
+    static Status okStatus() { return Status(); }
+
+    template <typename... Args>
+    static Status
+    invalidArgument(const Args &...args)
+    {
+        return Status(StatusCode::InvalidArgument,
+                      detail::formatMessage(args...));
+    }
+
+    template <typename... Args>
+    static Status
+    parseError(const Args &...args)
+    {
+        return Status(StatusCode::ParseError,
+                      detail::formatMessage(args...));
+    }
+
+    template <typename... Args>
+    static Status
+    ioError(const Args &...args)
+    {
+        return Status(StatusCode::IoError,
+                      detail::formatMessage(args...));
+    }
+
+    template <typename... Args>
+    static Status
+    outOfRange(const Args &...args)
+    {
+        return Status(StatusCode::OutOfRange,
+                      detail::formatMessage(args...));
+    }
+
+    template <typename... Args>
+    static Status
+    cancelled(const Args &...args)
+    {
+        return Status(StatusCode::Cancelled,
+                      detail::formatMessage(args...));
+    }
+
+    bool ok() const { return code_ == StatusCode::Ok; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "OK" or "<code>: <message>". */
+    std::string
+    toString() const
+    {
+        if (ok())
+            return "OK";
+        return std::string(statusCodeName(code_)) + ": " + message_;
+    }
+
+    /** Throw FatalError if not OK (bridge into the throwing regime). */
+    void
+    orFatal() const
+    {
+        if (!ok())
+            fatal(toString());
+    }
+
+  private:
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {}
+
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+inline const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "ok";
+      case StatusCode::InvalidArgument: return "invalid argument";
+      case StatusCode::ParseError: return "parse error";
+      case StatusCode::IoError: return "io error";
+      case StatusCode::OutOfRange: return "out of range";
+      case StatusCode::Cancelled: return "cancelled";
+    }
+    return "unknown";
+}
+
+/**
+ * Either a value or a non-OK Status (expected-style). Access the value
+ * only after checking ok(); value() on an error is a programming error
+ * and throws FatalError.
+ */
+template <typename T>
+class [[nodiscard]] StatusOr
+{
+  public:
+    /** Implicit from an error Status (must not be OK). */
+    StatusOr(Status status) : status_(std::move(status))
+    {
+        APOLLO_REQUIRE(!status_.ok(),
+                       "OK status used to construct StatusOr without a "
+                       "value");
+    }
+
+    /** Implicit from a value. */
+    StatusOr(T value) : value_(std::move(value)) {}
+
+    bool ok() const { return value_.has_value(); }
+    const Status &status() const { return status_; }
+
+    T &
+    value()
+    {
+        APOLLO_REQUIRE(ok(), "StatusOr has no value: ",
+                       status_.toString());
+        return *value_;
+    }
+
+    const T &
+    value() const
+    {
+        APOLLO_REQUIRE(ok(), "StatusOr has no value: ",
+                       status_.toString());
+        return *value_;
+    }
+
+    T &operator*() { return value(); }
+    const T &operator*() const { return value(); }
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+} // namespace apollo
+
+#endif // APOLLO_UTIL_STATUS_HH

@@ -23,18 +23,7 @@
 #include <map>
 #include <string>
 
-#include "core/apollo_trainer.hh"
-#include "flow/flows.hh"
-#include "gen/ga_generator.hh"
-#include "gen/test_suite.hh"
-#include "ml/metrics.hh"
-#include "opm/hls_emitter.hh"
-#include "opm/opm_hardware.hh"
-#include "opm/opm_simulator.hh"
-#include "rtl/design_builder.hh"
-#include "trace/dataset_io.hh"
-#include "trace/toggle_trace.hh"
-#include "util/logging.hh"
+#include "apollo.hh"
 
 using namespace apollo;
 

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Regenerate the solver perf trajectory (BENCH_solver.json at the repo
-# root). Usage: tools/run_benches.sh [--smoke] [extra bench args...]
+# Regenerate the perf trajectories at the repo root:
+#   BENCH_solver.json  — MCP solver fast-path layers
+#   BENCH_stream.json  — streaming pipeline vs batch (throughput + RSS)
+# Usage: tools/run_benches.sh [--smoke] [extra bench args...]
 #
 # Environment:
 #   BUILD_DIR   build tree to use (default: build)
@@ -16,7 +18,11 @@ if [[ "${APOLLO_NATIVE:-0}" == "1" ]]; then
 fi
 
 cmake -B "$BUILD_DIR" -S . "${cmake_flags[@]}"
-cmake --build "$BUILD_DIR" -j --target bench_perf_solver
+cmake --build "$BUILD_DIR" -j --target bench_perf_solver \
+    --target bench_stream_infer
 
 "$BUILD_DIR"/bench/bench_perf_solver --out=BENCH_solver.json "$@"
 echo "BENCH_solver.json updated"
+
+"$BUILD_DIR"/bench/bench_stream_infer --out=BENCH_stream.json "$@"
+echo "BENCH_stream.json updated"

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Build with ASan+UBSan and run the test suite (default: the streaming
+# pipeline suites, which exercise the chunked readers, the parallel
+# engine, and the Status error paths end to end).
+#
+# Usage: tools/run_sanitize.sh [ctest args...]
+#   tools/run_sanitize.sh                 # streaming suites only
+#   tools/run_sanitize.sh -R '.*'         # everything under sanitizers
+#
+# Environment:
+#   BUILD_DIR   sanitizer build tree (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build-asan}
+
+cmake -B "$BUILD_DIR" -S . -DAPOLLO_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j --target apollo_tests
+
+if [[ $# -gt 0 ]]; then
+    ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
+else
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -R \
+        'SliceRows|StreamInfer|StreamSinks|ProxyTraceFormat|VcdStreaming|LoaderStatus|PublicApi|EmulatorFlow'
+fi
+echo "sanitizer run clean"
