@@ -27,11 +27,30 @@ OpmSimulator::OpmSimulator(const QuantizedModel &model, uint32_t T)
                    "T must be a power of two");
     APOLLO_REQUIRE(!model.proxyIds.empty(), "empty model");
     shift_ = ceilLog2(T);
-    // Full-precision widths per §6: B + ceil(log Q) (+1 sign margin for
-    // the quantized intercept), then + ceil(log T) for the accumulator.
+    // Full-precision widths per §6: B + ceil(log Q) (+1 sign margin),
+    // then + ceil(log T) for the accumulator. The §6 formula assumes
+    // the intercept is on the weight scale; a quantized intercept of
+    // larger magnitude (|b| >> max|w| after scaling) shifts the whole
+    // cycle-sum range, so the width must also cover the exact
+    // worst-case sum including qintercept.
+    int64_t min_sum = model.qintercept;
+    int64_t max_sum = model.qintercept;
+    for (int32_t qw : model.qweights) {
+        if (qw > 0)
+            max_sum += qw;
+        else
+            min_sum += qw;
+    }
+    const uint64_t max_abs =
+        std::max(static_cast<uint64_t>(max_sum < 0 ? -max_sum : max_sum),
+                 static_cast<uint64_t>(min_sum < 0 ? -min_sum : min_sum));
     cycleSumBits_ =
-        model.bits + ceilLog2(model.proxyCount()) + 1;
+        std::max(model.bits + ceilLog2(model.proxyCount()) + 1,
+                 static_cast<uint32_t>(std::bit_width(max_abs)));
     accumBits_ = cycleSumBits_ + shift_;
+    APOLLO_REQUIRE(accumBits_ <= 62,
+                   "accumulator width exceeds 62 bits for this "
+                   "model/T combination");
 }
 
 void

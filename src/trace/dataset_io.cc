@@ -77,8 +77,11 @@ tryLoadDataset(std::istream &is)
     uint64_t cols = 0;
     if (!readPod(is, rows) || !readPod(is, cols))
         return Status::ioError("truncated dataset stream");
-    if (rows == 0 || cols == 0 || rows >= (1ULL << 32) ||
-        cols >= (1ULL << 32))
+    // Each dimension AND the product are bounded before allocating:
+    // rows and cols individually below 2^32 can still multiply to a
+    // forged multi-gigabyte matrix.
+    if (rows == 0 || cols == 0 || rows >= (1ULL << 28) ||
+        cols >= (1ULL << 24) || rows * cols > (1ULL << 33))
         return Status::parseError("implausible dataset dimensions ",
                                   rows, " x ", cols);
     ds.X.reset(rows, cols);

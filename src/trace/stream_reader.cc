@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "trace/vcd.hh"
 #include "util/thread_pool.hh"
 
 namespace apollo {
@@ -221,6 +222,18 @@ ProxyTraceReader::readBlock()
                                       pos_);
         return Status::okStatus();
     }
+    // Validate the declared block size BEFORE allocating for it: both
+    // rows and q come from untrusted input, and a forged header must
+    // not translate into a multi-gigabyte reset().
+    if (totalCycles_ != kUnknownCycles && pos_ + rows > totalCycles_)
+        return Status::parseError("proxy trace block overruns declared "
+                                  "cycle count: block of ", rows,
+                                  " rows at cycle ", pos_,
+                                  " exceeds header total ",
+                                  totalCycles_);
+    if (static_cast<uint64_t>(rows) * q_ > (uint64_t{1} << 30))
+        return Status::parseError("implausible proxy trace block: ",
+                                  rows, " rows x ", q_, " proxies");
     block_.reset(rows, q_);
     for (size_t c = 0; c < q_; ++c) {
         is_.read(reinterpret_cast<char *>(block_.colWordsMutable(c)),
@@ -364,6 +377,10 @@ VcdChunkReader::next(size_t max_rows, ProxyChunk &chunk)
                     "non-monotonic VCD timestamp ", ts, " after ",
                     curTs_, " (streaming reader requires ordered "
                             "timestamps)");
+            if (ts > kMaxVcdCycles)
+                return Status::parseError("implausible VCD timestamp ",
+                                          ts, " (limit ",
+                                          kMaxVcdCycles, ")");
             if (ts > curTs_) {
                 if (!pendingFlips_.empty()) {
                     completedTs_ = curTs_;

@@ -131,6 +131,10 @@ tryParseVcd(std::istream &is)
             } catch (...) {
                 return Status::parseError("bad VCD timestamp ", token);
             }
+            if (cycle > kMaxVcdCycles)
+                return Status::parseError("implausible VCD timestamp ",
+                                          cycle, " (limit ",
+                                          kMaxVcdCycles, ")");
             max_cycle = std::max(max_cycle, cycle);
             continue;
         }
@@ -148,6 +152,13 @@ tryParseVcd(std::istream &is)
 
     VcdTrace trace;
     trace.names = std::move(names);
+    // Bound the full-matrix allocation: the streaming reader is the
+    // supported path for dumps beyond in-memory size.
+    if (max_cycle * trace.names.size() > (uint64_t{1} << 32))
+        return Status::parseError(
+            "VCD too large for in-memory parse (", max_cycle,
+            " cycles x ", trace.names.size(),
+            " signals); use VcdChunkReader");
     trace.toggles.reset(max_cycle, trace.names.size());
     for (const auto &[flip_cycle, index] : flips) {
         if (flip_cycle < max_cycle)

@@ -60,6 +60,15 @@ class VcdWriter
     bool headerDone_ = false;
 };
 
+/**
+ * Largest timestamp either VCD reader accepts. Timestamps come from
+ * untrusted input and directly size the reconstructed trace (the batch
+ * parser allocates max_cycle x signals toggle bits; the streaming
+ * reader synthesizes one row per cycle), so an implausible declared
+ * length is a ParseError, not an allocation attempt.
+ */
+inline constexpr uint64_t kMaxVcdCycles = uint64_t{1} << 30;
+
 /** Parsed VCD contents: per-signal toggle columns. */
 struct VcdTrace
 {

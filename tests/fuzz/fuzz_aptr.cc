@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fuzz target for the "APTR" binary proxy-trace reader: arbitrary
+ * bytes must produce either chunks or a Status error — never a throw,
+ * a crash, unbounded allocation, or an unbounded loop.
+ */
+
+#include "fuzz/fuzz_driver.hh"
+
+#include <sstream>
+#include <string>
+
+#include "trace/stream_reader.hh"
+
+void
+apolloFuzzOne(const uint8_t *data, size_t size)
+{
+    std::istringstream is(
+        std::string(reinterpret_cast<const char *>(data), size));
+    apollo::ProxyTraceReader reader(is);
+    apollo::ProxyChunk chunk;
+    uint64_t rows = 0;
+    for (int iter = 0; iter < 4096; ++iter) {
+        apollo::StatusOr<size_t> got = reader.next(1024, chunk);
+        if (!got.ok() || *got == 0)
+            break;
+        rows += *got;
+        if (rows > (uint64_t{1} << 22))
+            break; // the input cannot legitimately be this long
+    }
+}

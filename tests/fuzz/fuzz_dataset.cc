@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Fuzz target for the "APDS" dataset loader: arbitrary bytes must
+ * yield a Dataset or a Status error — never a throw, crash, or
+ * unbounded allocation.
+ */
+
+#include "fuzz/fuzz_driver.hh"
+
+#include <sstream>
+#include <string>
+
+#include "trace/dataset_io.hh"
+
+void
+apolloFuzzOne(const uint8_t *data, size_t size)
+{
+    std::istringstream is(
+        std::string(reinterpret_cast<const char *>(data), size));
+    apollo::StatusOr<apollo::Dataset> loaded =
+        apollo::tryLoadDataset(is);
+    (void)loaded;
+}

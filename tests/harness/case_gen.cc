@@ -1,0 +1,339 @@
+#include "harness/case_gen.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/feature_view.hh"
+#include "ref/reference_solver.hh"
+
+namespace apollo::harness {
+
+namespace {
+
+/** Power of two <= bound (>= 1). */
+uint32_t
+randomPowerOfTwo(Xoshiro256StarStar &rng, uint32_t bound)
+{
+    uint32_t max_log = 0;
+    while ((2u << max_log) <= bound && max_log < 10)
+        max_log++;
+    return 1u << rng.nextBounded(max_log + 1);
+}
+
+/** Split [0, rows) into 1..3 segments (each nonempty). */
+std::vector<SegmentInfo>
+randomSegments(Xoshiro256StarStar &rng, size_t rows)
+{
+    std::vector<SegmentInfo> segs;
+    if (rows == 0)
+        return segs;
+    const size_t pieces = 1 + rng.nextBounded(std::min<size_t>(3, rows));
+    size_t begin = 0;
+    for (size_t p = 0; p < pieces; ++p) {
+        const size_t remaining = rows - begin;
+        const size_t pieces_left = pieces - p;
+        size_t len = remaining / pieces_left;
+        if (pieces_left > 1 && len > 1)
+            len = 1 + rng.nextBounded(len);
+        if (p + 1 == pieces)
+            len = remaining;
+        segs.push_back({"s" + std::to_string(p), begin, begin + len});
+        begin += len;
+    }
+    return segs;
+}
+
+/** Weights with mixed signs, planted zeros, varied magnitudes. */
+std::vector<float>
+randomWeights(Xoshiro256StarStar &rng, size_t q, bool nonneg = false)
+{
+    std::vector<float> w(q);
+    const double magnitude = rng.nextDouble() < 0.15
+                                 ? rng.nextRange(10.0, 1000.0)
+                                 : rng.nextRange(0.05, 2.0);
+    for (size_t j = 0; j < q; ++j) {
+        const double u = rng.nextDouble();
+        if (u < 0.2) {
+            w[j] = 0.0f; // pruned proxy riding along
+        } else {
+            double v = rng.nextRange(0.01, magnitude);
+            if (!nonneg && rng.nextDouble() < 0.4)
+                v = -v;
+            w[j] = static_cast<float>(v);
+        }
+    }
+    return w;
+}
+
+} // namespace
+
+BitColumnMatrix
+randomBits(Xoshiro256StarStar &rng, size_t rows, size_t cols,
+           double density)
+{
+    BitColumnMatrix X(rows, cols);
+    for (size_t c = 0; c < cols; ++c)
+        for (size_t r = 0; r < rows; ++r)
+            if (rng.nextDouble() < density)
+                X.setBit(r, c);
+    return X;
+}
+
+InferCase
+makeInferCase(uint64_t seed)
+{
+    Xoshiro256StarStar rng(hashMix(seed));
+    InferCase c;
+    const uint64_t shape = hashMix(seed ^ 0x1f3a) % 8;
+
+    size_t rows = 16 + rng.nextBounded(500);
+    size_t q = 2 + rng.nextBounded(40);
+    double density = rng.nextRange(0.02, 0.6);
+    switch (shape) {
+      case 0: c.shape = "nominal"; break;
+      case 1:
+        c.shape = "q1";
+        q = 1;
+        break;
+      case 2:
+        c.shape = "single-cycle";
+        rows = 1;
+        break;
+      case 3:
+        c.shape = "dense";
+        density = 0.97;
+        break;
+      case 4:
+        c.shape = "near-empty";
+        density = 0.002;
+        break;
+      case 5:
+        c.shape = "empty-trace";
+        rows = 0;
+        break;
+      case 6:
+        c.shape = "big-intercept";
+        break;
+      default: c.shape = "many-proxies"; q = 48 + rng.nextBounded(80);
+    }
+
+    c.Xq = randomBits(rng, rows, q, density);
+    c.model.proxyIds.resize(q);
+    for (size_t j = 0; j < q; ++j)
+        c.model.proxyIds[j] = static_cast<uint32_t>(j);
+    c.model.weights = randomWeights(rng, q);
+    c.model.intercept = shape == 6 ? rng.nextRange(-500.0, 500.0)
+                                   : rng.nextRange(-5.0, 5.0);
+    c.model.designName = "gen";
+
+    c.segments = randomSegments(rng, rows);
+    // Guarantee at least one full window: T bounded by the largest
+    // segment (the window oracles rely on this).
+    size_t largest = 0;
+    for (const SegmentInfo &seg : c.segments)
+        largest = std::max(largest, seg.cycles());
+    c.T = largest == 0
+              ? 1
+              : randomPowerOfTwo(rng, static_cast<uint32_t>(largest));
+    return c;
+}
+
+QuantCase
+makeQuantCase(uint64_t seed)
+{
+    Xoshiro256StarStar rng(hashMix(seed ^ 0x9e3779b9));
+    QuantCase c;
+    const uint64_t shape = hashMix(seed ^ 0x2b4c) % 6;
+
+    static constexpr uint32_t kBits[] = {2, 3, 4, 6, 8, 10, 12, 16, 24};
+    c.bits = kBits[rng.nextBounded(std::size(kBits))];
+
+    size_t q = 1 + rng.nextBounded(32);
+    bool zero_weights = false;
+    bool big_intercept = false;
+    switch (shape) {
+      case 0: c.shape = "nominal"; break;
+      case 1:
+        c.shape = "all-zero-weights";
+        zero_weights = true;
+        break;
+      case 2:
+        c.shape = "q1";
+        q = 1;
+        break;
+      case 3:
+        c.shape = "b2-saturation";
+        c.bits = 2;
+        break;
+      case 4:
+        c.shape = "big-intercept";
+        big_intercept = true;
+        break;
+      default: c.shape = "wide"; q = 40 + rng.nextBounded(60);
+    }
+
+    c.model.proxyIds.resize(q);
+    for (size_t j = 0; j < q; ++j)
+        c.model.proxyIds[j] = static_cast<uint32_t>(j);
+    c.model.weights = zero_weights ? std::vector<float>(q, 0.0f)
+                                   : randomWeights(rng, q);
+    c.model.intercept = big_intercept ? rng.nextRange(-2000.0, 2000.0)
+                                      : rng.nextRange(-5.0, 5.0);
+    c.model.designName = "gen";
+
+    const size_t rows = 32 + rng.nextBounded(400);
+    c.T = randomPowerOfTwo(rng, static_cast<uint32_t>(rows));
+    c.Xq = randomBits(rng, rows, q, rng.nextRange(0.05, 0.7));
+    return c;
+}
+
+SolverCase
+makeSolverCase(uint64_t seed)
+{
+    Xoshiro256StarStar rng(hashMix(seed ^ 0x50f7));
+    SolverCase c;
+    const uint64_t shape = hashMix(seed ^ 0x3c5d) % 8;
+
+    size_t n = 16 + rng.nextBounded(300);
+    size_t m = 2 + rng.nextBounded(46);
+    double density = rng.nextRange(0.03, 0.5);
+    bool zero_cols = false;
+    bool dup_cols = false;
+    bool constant_labels = false;
+    switch (shape) {
+      case 0: c.shape = "nominal"; break;
+      case 1:
+        c.shape = "zero-columns";
+        zero_cols = true;
+        break;
+      case 2:
+        c.shape = "duplicate-columns";
+        dup_cols = true;
+        break;
+      case 3:
+        c.shape = "constant-labels";
+        constant_labels = true;
+        break;
+      case 4:
+        c.shape = "single-column";
+        m = 1;
+        break;
+      case 5:
+        c.shape = "tiny";
+        n = 2 + rng.nextBounded(6);
+        m = 1 + rng.nextBounded(4);
+        break;
+      case 6:
+        c.shape = "wide";
+        m = 64 + rng.nextBounded(80);
+        n = 32 + rng.nextBounded(100);
+        break;
+      default: c.shape = "dense"; density = 0.8;
+    }
+
+    c.X = randomBits(rng, n, m, density);
+    if (zero_cols)
+        for (size_t j = 0; j < m; j += 3)
+            for (size_t i = 0; i < n; ++i)
+                c.X.set(i, j, false);
+    if (dup_cols && m >= 2)
+        for (size_t j = 1; j < m; j += 4)
+            for (size_t i = 0; i < n; ++i)
+                c.X.set(i, j, c.X.get(i, j - 1));
+
+    // Penalty configuration rotates through every family.
+    const uint64_t family = hashMix(seed ^ 0x77aa) % 5;
+    c.cfg = CdConfig();
+    c.cfg.maxSweeps = 600;
+    c.cfg.tol = rng.nextDouble() < 0.25 ? 1e-6 : 1e-4;
+    c.cfg.penalty.nonneg = rng.nextDouble() < 0.3;
+    switch (family) {
+      case 0:
+        c.cfg.penalty.kind = PenaltyKind::None;
+        c.cfg.penalty.lambda = 0.0;
+        break;
+      case 1:
+        c.cfg.penalty.kind = PenaltyKind::Ridge;
+        c.cfg.penalty.lambda2 = rng.nextRange(1e-4, 1.0);
+        break;
+      case 2:
+        c.cfg.penalty.kind = PenaltyKind::Lasso;
+        break;
+      case 3: // elastic net
+        c.cfg.penalty.kind = PenaltyKind::Lasso;
+        c.cfg.penalty.lambda2 = rng.nextRange(1e-4, 0.1);
+        break;
+      default:
+        c.cfg.penalty.kind = PenaltyKind::Mcp;
+        c.cfg.penalty.gamma = rng.nextDouble() < 0.3
+                                  ? rng.nextRange(3.0, 6.0)
+                                  : 10.0;
+    }
+
+    // Labels: planted sparse linear structure + noise (or constant).
+    c.y.assign(n, static_cast<float>(rng.nextRange(-2.0, 2.0)));
+    if (!constant_labels) {
+        const size_t q_true = 1 + rng.nextBounded(std::max<size_t>(
+                                      1, std::min<size_t>(m, 8)));
+        for (size_t k = 0; k < q_true; ++k) {
+            const size_t j = rng.nextBounded(m);
+            double beta = rng.nextRange(0.2, 2.0);
+            if (!c.cfg.penalty.nonneg && rng.nextDouble() < 0.3)
+                beta = -beta;
+            for (size_t i = 0; i < n; ++i)
+                if (c.X.get(i, j))
+                    c.y[i] += static_cast<float>(beta);
+        }
+        const double noise = rng.nextRange(0.0, 0.1);
+        for (size_t i = 0; i < n; ++i)
+            c.y[i] += static_cast<float>(noise * rng.nextGaussian());
+    }
+
+    // Lambda relative to this case's own naive lambdaMax, computed
+    // after labels exist (L1-family only).
+    if (c.cfg.penalty.kind == PenaltyKind::Lasso ||
+        c.cfg.penalty.kind == PenaltyKind::Mcp) {
+        BitFeatureView view(c.X);
+        const double lmax = ref::lambdaMax(view, c.y);
+        c.cfg.penalty.lambda =
+            lmax > 0.0 ? lmax * rng.nextRange(0.02, 0.8) : 0.0;
+    }
+    return c;
+}
+
+TargetQCase
+makeTargetQCase(uint64_t seed)
+{
+    Xoshiro256StarStar rng(hashMix(seed ^ 0x7a9));
+    TargetQCase c;
+    c.shape = "nominal";
+
+    const size_t n = 120 + rng.nextBounded(280);
+    const size_t m = 20 + rng.nextBounded(40);
+    c.X = randomBits(rng, n, m, rng.nextRange(0.05, 0.35));
+
+    c.y.assign(n, 1.0f);
+    const size_t q_true = 4 + rng.nextBounded(m / 2);
+    for (size_t k = 0; k < q_true; ++k) {
+        const size_t j = rng.nextBounded(m);
+        const double beta = rng.nextRange(0.2, 2.0);
+        for (size_t i = 0; i < n; ++i)
+            if (c.X.get(i, j))
+                c.y[i] += static_cast<float>(beta);
+    }
+    for (size_t i = 0; i < n; ++i)
+        c.y[i] += static_cast<float>(0.05 * rng.nextGaussian());
+
+    c.targetQ = 1 + rng.nextBounded(m / 3);
+    return c;
+}
+
+size_t
+streamChunkCycles(uint64_t seed)
+{
+    static constexpr size_t kChunks[] = {1,  3,   7,    13,   64,
+                                         97, 256, 1000, 4096, 16384};
+    return kChunks[hashMix(seed ^ 0xc4) % std::size(kChunks)];
+}
+
+} // namespace apollo::harness

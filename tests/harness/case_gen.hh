@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic seeded case generation for the differential-oracle
+ * harness (docs/INTERNALS.md §8). Every case is a pure function of one
+ * 64-bit seed: the seed picks a shape class (nominal random shapes
+ * interleaved with adversarial ones — Q=1, all-zero columns, duplicate
+ * columns, constant labels, single-cycle traces, dense/near-empty
+ * matrices) and then drives a private Xoshiro stream for the contents.
+ * Re-running any failing case therefore needs only its seed, which the
+ * differential runner prints as a one-line replay command.
+ */
+
+#ifndef APOLLO_TESTS_HARNESS_CASE_GEN_HH
+#define APOLLO_TESTS_HARNESS_CASE_GEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/apollo_model.hh"
+#include "ml/coordinate_descent.hh"
+#include "trace/dataset.hh"
+#include "util/bitvec.hh"
+#include "util/rng.hh"
+
+namespace apollo::harness {
+
+/** Random rows x cols toggle matrix with the given bit density. */
+BitColumnMatrix randomBits(Xoshiro256StarStar &rng, size_t rows,
+                           size_t cols, double density);
+
+/**
+ * A generated inference case: a model over Q proxies, a proxy-layout
+ * trace, a power-of-two window size, and segment metadata covering the
+ * trace. Shapes rotate through nominal and adversarial classes.
+ */
+struct InferCase
+{
+    ApolloModel model;
+    BitColumnMatrix Xq;
+    uint32_t T = 1;
+    std::vector<SegmentInfo> segments;
+    std::string shape; ///< human-readable shape class for diagnostics
+};
+
+InferCase makeInferCase(uint64_t seed);
+
+/** A generated quantization case: float model + bit width + trace. */
+struct QuantCase
+{
+    ApolloModel model;
+    uint32_t bits = 10;
+    uint32_t T = 1;
+    BitColumnMatrix Xq;
+    std::string shape;
+};
+
+QuantCase makeQuantCase(uint64_t seed);
+
+/**
+ * A generated solver case: binary design matrix, labels with planted
+ * linear structure plus noise, and a full CdConfig (penalty family,
+ * lambda as a fraction of the case's own naive lambdaMax, nonneg flag,
+ * tolerance). Adversarial classes include all-zero columns, duplicated
+ * columns, constant labels, and single-active-column designs.
+ */
+struct SolverCase
+{
+    BitColumnMatrix X;
+    std::vector<float> y;
+    CdConfig cfg;
+    std::string shape;
+};
+
+SolverCase makeSolverCase(uint64_t seed);
+
+/**
+ * A generated target-Q case: informative design + label pair plus a
+ * requested support size (>= 1, well below the column count).
+ */
+struct TargetQCase
+{
+    BitColumnMatrix X;
+    std::vector<float> y;
+    size_t targetQ = 1;
+    std::string shape;
+};
+
+TargetQCase makeTargetQCase(uint64_t seed);
+
+/** Chunk-size schedule for streaming cases (varied, includes 1). */
+size_t streamChunkCycles(uint64_t seed);
+
+} // namespace apollo::harness
+
+#endif // APOLLO_TESTS_HARNESS_CASE_GEN_HH

@@ -1,0 +1,109 @@
+#include "harness/differential.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace apollo::harness {
+
+const OracleEntry *
+findOracle(const std::string &path)
+{
+    for (const OracleEntry &e : oracleRegistry())
+        if (e.path == path)
+            return &e;
+    return nullptr;
+}
+
+uint64_t
+oracleBaseSeed(const std::string &path)
+{
+    uint64_t h = 0xcbf29ce484222325ULL; // FNV-1a
+    for (char ch : path) {
+        h ^= static_cast<unsigned char>(ch);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::optional<uint64_t>
+replaySeedOverride()
+{
+    const char *env = std::getenv("APOLLO_ORACLE_SEED");
+    if (env == nullptr || *env == '\0')
+        return std::nullopt;
+    return std::strtoull(env, nullptr, 0);
+}
+
+void
+runOracle(const OracleEntry &entry, size_t count)
+{
+    std::vector<uint64_t> seeds;
+    if (auto only = replaySeedOverride()) {
+        seeds.push_back(*only);
+    } else {
+        const uint64_t base = oracleBaseSeed(entry.path);
+        seeds.reserve(count);
+        for (size_t i = 0; i < count; ++i)
+            seeds.push_back(base + i);
+    }
+
+    size_t failures = 0;
+    for (uint64_t seed : seeds) {
+        std::optional<std::string> detail;
+        try {
+            detail = entry.runOne(seed);
+        } catch (const std::exception &e) {
+            detail = std::string("unexpected exception: ") + e.what();
+        }
+        if (!detail)
+            continue;
+        failures++;
+        char replay[128];
+        std::snprintf(replay, sizeof(replay),
+                      "APOLLO_REPLAY seed=0x%llx path=%s",
+                      static_cast<unsigned long long>(seed),
+                      entry.path.c_str());
+        ADD_FAILURE() << replay << "\n  " << *detail
+                      << "\n  rerun just this case with: "
+                         "APOLLO_ORACLE_SEED=0x"
+                      << std::hex << seed << std::dec
+                      << " ./apollo_oracle_tests "
+                         "--gtest_filter='*"
+                      << entry.path << "*'";
+        if (failures >= 5) {
+            ADD_FAILURE() << "[oracle] " << entry.path
+                          << ": stopping after 5 failures";
+            break;
+        }
+    }
+}
+
+BitColumnMatrix
+takeRows(const BitColumnMatrix &X, size_t rows)
+{
+    rows = std::min(rows, X.rows());
+    BitColumnMatrix out(rows, X.cols());
+    for (size_t c = 0; c < X.cols(); ++c)
+        for (size_t r = 0; r < rows; ++r)
+            if (X.get(r, c))
+                out.setBit(r, c);
+    return out;
+}
+
+BitColumnMatrix
+takeCols(const BitColumnMatrix &X, size_t cols)
+{
+    cols = std::min(cols, X.cols());
+    BitColumnMatrix out(X.rows(), cols);
+    for (size_t c = 0; c < cols; ++c)
+        for (size_t r = 0; r < X.rows(); ++r)
+            if (X.get(r, c))
+                out.setBit(r, c);
+    return out;
+}
+
+} // namespace apollo::harness

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Differential-oracle runner (docs/INTERNALS.md §8). Each production
+ * inference / solver / quantization path registers an OracleEntry that
+ * replays one seeded case through both the production code and its
+ * src/ref oracle and reports a mismatch as a human-readable detail
+ * string. The runner drives a deterministic seed range per path,
+ * shrinks failures, and prints a one-line replay command
+ * (APOLLO_REPLAY seed=0x... path=...) so any failure reproduces from
+ * its seed alone.
+ */
+
+#ifndef APOLLO_TESTS_HARNESS_DIFFERENTIAL_HH
+#define APOLLO_TESTS_HARNESS_DIFFERENTIAL_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bitvec.hh"
+
+namespace apollo::harness {
+
+/**
+ * One production path under differential test. runOne() builds the
+ * case for @p seed, runs production + oracle, and returns std::nullopt
+ * on agreement or a mismatch description (already shrunk) on failure.
+ */
+struct OracleEntry
+{
+    std::string path;
+    std::function<std::optional<std::string>(uint64_t seed)> runOne;
+};
+
+/**
+ * Every registered production-path oracle. A meta-test pins the exact
+ * path list so a new fast path cannot land without registering here.
+ */
+const std::vector<OracleEntry> &oracleRegistry();
+
+/** Entry by path name (nullptr when absent). */
+const OracleEntry *findOracle(const std::string &path);
+
+/** Stable per-path base seed (FNV-1a of the path name). */
+uint64_t oracleBaseSeed(const std::string &path);
+
+/**
+ * APOLLO_ORACLE_SEED environment override (hex 0x... or decimal):
+ * when set, runOracle() replays exactly that one seed per path.
+ */
+std::optional<uint64_t> replaySeedOverride();
+
+/**
+ * Drive @p count consecutive seeds from the path's base seed through
+ * the entry (or only the APOLLO_ORACLE_SEED override), reporting each
+ * failure through gtest with its replay line.
+ */
+void runOracle(const OracleEntry &entry, size_t count);
+
+/**
+ * Greedy failure minimization: repeatedly apply each mutator to a copy
+ * of the case and keep the mutation whenever @p stillFails holds.
+ * Mutators return false when they cannot reduce further.
+ */
+template <typename Case>
+Case
+shrinkCase(Case c,
+           const std::function<bool(const Case &)> &stillFails,
+           const std::vector<std::function<bool(Case &)>> &mutators)
+{
+    bool progress = true;
+    int guard = 0;
+    while (progress && guard++ < 64) {
+        progress = false;
+        for (const auto &mutate : mutators) {
+            Case trial = c;
+            if (!mutate(trial))
+                continue;
+            if (stillFails(trial)) {
+                c = std::move(trial);
+                progress = true;
+            }
+        }
+    }
+    return c;
+}
+
+/** First @p rows rows of @p X (shrinking helper). */
+BitColumnMatrix takeRows(const BitColumnMatrix &X, size_t rows);
+
+/** First @p cols columns of @p X (shrinking helper). */
+BitColumnMatrix takeCols(const BitColumnMatrix &X, size_t cols);
+
+} // namespace apollo::harness
+
+#endif // APOLLO_TESTS_HARNESS_DIFFERENTIAL_HH

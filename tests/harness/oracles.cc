@@ -1,0 +1,524 @@
+/**
+ * @file
+ * The oracle registry: every production inference / solver /
+ * quantization path, registered against its src/ref oracle. Paths that
+ * are bit-exact by construction (per-cycle float inference, Eq. (9)
+ * windows, integer OPM arithmetic, quantization) compare with exact
+ * equality; the iterative solver paths are certified with the
+ * independent KKT fixed-point residual plus objective agreement
+ * against the naive reference fit, with tolerances derived from the
+ * solver's own convergence metric (see checkSolver()).
+ */
+
+#include "harness/differential.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+
+#include "core/apollo_model.hh"
+#include "core/multi_cycle.hh"
+#include "flow/stream_engine.hh"
+#include "harness/case_gen.hh"
+#include "ml/coordinate_descent.hh"
+#include "ml/feature_view.hh"
+#include "ml/solver_path.hh"
+#include "opm/opm_simulator.hh"
+#include "opm/quantize.hh"
+#include "ref/reference_kernels.hh"
+#include "ref/reference_solver.hh"
+#include "trace/stream_reader.hh"
+#include "util/logging.hh"
+
+namespace apollo::harness {
+
+namespace {
+
+std::string
+fmt(const char *format, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, format);
+    std::vsnprintf(buf, sizeof(buf), format, ap);
+    va_end(ap);
+    return buf;
+}
+
+/** Exact float comparison; NaN anywhere is a failure. */
+std::optional<std::string>
+compareExact(std::span<const float> prod, std::span<const float> want,
+             const std::string &shape)
+{
+    if (prod.size() != want.size())
+        return fmt("shape=%s: size mismatch prod=%zu ref=%zu",
+                   shape.c_str(), prod.size(), want.size());
+    for (size_t i = 0; i < prod.size(); ++i) {
+        if (prod[i] != want[i] || std::isnan(prod[i]))
+            return fmt("shape=%s: element %zu: prod=%a ref=%a",
+                       shape.c_str(), i, static_cast<double>(prod[i]),
+                       static_cast<double>(want[i]));
+    }
+    return std::nullopt;
+}
+
+/**
+ * Smallest width b with |v| < 2^b for every v in [min_sum, max_sum] —
+ * the OPM's declared-width convention (stepSum asserts magnitude
+ * strictly below 2^cycleSumBits).
+ */
+uint32_t
+requiredMagnitudeBits(int64_t min_sum, int64_t max_sum)
+{
+    const uint64_t max_abs = std::max(
+        static_cast<uint64_t>(min_sum < 0 ? -min_sum : min_sum),
+        static_cast<uint64_t>(max_sum < 0 ? -max_sum : max_sum));
+    uint32_t bits = 0;
+    while (bits < 63 && (uint64_t{1} << bits) <= max_abs)
+        bits++;
+    return bits;
+}
+
+size_t
+fullWindows(const InferCase &c)
+{
+    size_t windows = 0;
+    for (const SegmentInfo &seg : c.segments)
+        windows += seg.cycles() / c.T;
+    return windows;
+}
+
+// ---------------------------------------------------------------------
+// Float inference paths (exact comparison).
+// ---------------------------------------------------------------------
+
+std::optional<std::string>
+runBatchProxies(uint64_t seed)
+{
+    const InferCase c0 = makeInferCase(seed);
+    auto check = [](const InferCase &c) -> std::optional<std::string> {
+        const std::vector<float> prod = c.model.predictProxies(c.Xq);
+        const std::vector<float> want = ref::predictProxies(c.model, c.Xq);
+        return compareExact(prod, want, c.shape);
+    };
+    std::optional<std::string> detail = check(c0);
+    if (!detail)
+        return std::nullopt;
+
+    // Greedy minimization; the shrunk case keeps failing by
+    // construction, so re-check and report its (smaller) detail.
+    const std::function<bool(const InferCase &)> fails =
+        [&](const InferCase &c) { return check(c).has_value(); };
+    const std::vector<std::function<bool(InferCase &)>> mutators = {
+        [](InferCase &c) {
+            if (c.Xq.rows() <= 1)
+                return false;
+            c.Xq = takeRows(c.Xq, c.Xq.rows() / 2);
+            return true;
+        },
+        [](InferCase &c) {
+            if (c.Xq.cols() <= 1)
+                return false;
+            const size_t keep = c.Xq.cols() / 2;
+            c.Xq = takeCols(c.Xq, keep);
+            c.model.weights.resize(keep);
+            c.model.proxyIds.resize(keep);
+            return true;
+        },
+        [](InferCase &c) {
+            if (c.model.intercept == 0.0)
+                return false;
+            c.model.intercept = 0.0;
+            return true;
+        },
+    };
+    InferCase s = shrinkCase(c0, fails, mutators);
+    return *check(s) +
+           fmt(" [shrunk to rows=%zu cols=%zu from rows=%zu cols=%zu]",
+               s.Xq.rows(), s.Xq.cols(), c0.Xq.rows(), c0.Xq.cols());
+}
+
+std::optional<std::string>
+runBatchFull(uint64_t seed)
+{
+    InferCase c = makeInferCase(seed);
+    // Scatter the proxy columns through a wider full-design matrix
+    // with active decoy columns between them.
+    const size_t q = c.Xq.cols();
+    const size_t full_cols = 2 * q + 3;
+    BitColumnMatrix X(c.Xq.rows(), full_cols);
+    ApolloModel scattered = c.model;
+    for (size_t j = 0; j < q; ++j) {
+        const size_t col = 2 * j + 1;
+        scattered.proxyIds[j] = static_cast<uint32_t>(col);
+        for (size_t r = 0; r < c.Xq.rows(); ++r)
+            if (c.Xq.get(r, j))
+                X.setBit(r, col);
+    }
+    Xoshiro256StarStar rng(hashMix(seed ^ 0xdecaf));
+    for (size_t j = 0; j < full_cols; j += 2)
+        for (size_t r = 0; r < X.rows(); ++r)
+            if (rng.nextDouble() < 0.3)
+                X.setBit(r, j);
+
+    const std::vector<float> prod = scattered.predictFull(X);
+    const std::vector<float> want = ref::predictFull(scattered, X);
+    if (auto d = compareExact(prod, want, c.shape))
+        return d;
+    // The scatter must not change the result: proxy-layout equality.
+    return compareExact(prod, ref::predictProxies(c.model, c.Xq),
+                        c.shape + "+scatter-invariance");
+}
+
+std::optional<std::string>
+runWindowsEq9(uint64_t seed)
+{
+    const InferCase c = makeInferCase(seed);
+    const MultiCycleModel mc{c.model,
+                             1 + static_cast<uint32_t>(seed % 7)};
+    if (fullWindows(c) == 0) {
+        // Production contract: no full window anywhere is a caller
+        // error (FatalError), not a silent empty result.
+        try {
+            mc.predictWindowsProxies(c.Xq, c.T, c.segments);
+        } catch (const FatalError &) {
+            return std::nullopt;
+        }
+        return fmt("shape=%s: expected FatalError for zero windows",
+                   c.shape.c_str());
+    }
+    const std::vector<float> prod =
+        mc.predictWindowsProxies(c.Xq, c.T, c.segments);
+    const std::vector<float> want =
+        ref::predictWindowsProxies(c.model, c.Xq, c.T, c.segments);
+    return compareExact(prod, want, c.shape + fmt("+T=%u", c.T));
+}
+
+std::optional<std::string>
+runStreamPerCycle(uint64_t seed)
+{
+    const InferCase c = makeInferCase(seed);
+    MatrixChunkReader reader(c.Xq);
+    VectorSink sink;
+    const StreamingInference engine(c.model);
+    const StreamConfig config =
+        StreamConfig().withChunkCycles(streamChunkCycles(seed));
+    auto stats = engine.run(reader, sink, config);
+    if (!stats.ok())
+        return fmt("shape=%s: run failed: %s", c.shape.c_str(),
+                   stats.status().message().c_str());
+    return compareExact(sink.values(), ref::predictProxies(c.model, c.Xq),
+                        c.shape + fmt("+chunk=%zu", config.chunkCycles));
+}
+
+std::optional<std::string>
+runStreamWindows(uint64_t seed)
+{
+    const InferCase c = makeInferCase(seed);
+    MatrixChunkReader reader(c.Xq);
+    VectorSink sink;
+    const StreamingInference engine(c.model);
+    const StreamConfig config = StreamConfig()
+                                    .withChunkCycles(streamChunkCycles(seed))
+                                    .withWindowT(c.T);
+    auto stats = engine.run(reader, sink, config);
+    if (!stats.ok())
+        return fmt("shape=%s: run failed: %s", c.shape.c_str(),
+                   stats.status().message().c_str());
+    // The stream has no segment metadata: one segment spanning the
+    // whole trace is the defined behavior.
+    const SegmentInfo whole{"trace", 0, c.Xq.rows()};
+    const std::vector<float> want = ref::predictWindowsProxies(
+        c.model, c.Xq, c.T, std::span<const SegmentInfo>(&whole, 1));
+    return compareExact(sink.values(), want,
+                        c.shape + fmt("+T=%u+chunk=%zu", c.T,
+                                      config.chunkCycles));
+}
+
+// ---------------------------------------------------------------------
+// OPM paths (field-exact / bit-exact integer comparison).
+// ---------------------------------------------------------------------
+
+std::optional<std::string>
+runQuantize(uint64_t seed)
+{
+    const QuantCase c = makeQuantCase(seed);
+    const QuantizedModel prod = apollo::quantizeModel(c.model, c.bits);
+    const QuantizedModel want = ref::quantizeModel(c.model, c.bits);
+    if (prod.proxyIds != want.proxyIds)
+        return fmt("shape=%s: proxyIds differ", c.shape.c_str());
+    if (prod.bits != want.bits)
+        return fmt("shape=%s: bits prod=%u ref=%u", c.shape.c_str(),
+                   prod.bits, want.bits);
+    if (prod.scale != want.scale)
+        return fmt("shape=%s: scale prod=%a ref=%a", c.shape.c_str(),
+                   prod.scale, want.scale);
+    if (prod.qintercept != want.qintercept)
+        return fmt("shape=%s: qintercept prod=%lld ref=%lld",
+                   c.shape.c_str(),
+                   static_cast<long long>(prod.qintercept),
+                   static_cast<long long>(want.qintercept));
+    for (size_t j = 0; j < want.qweights.size(); ++j)
+        if (j >= prod.qweights.size() ||
+            prod.qweights[j] != want.qweights[j])
+            return fmt("shape=%s: qweights[%zu] prod=%d ref=%d bits=%u",
+                       c.shape.c_str(), j,
+                       j < prod.qweights.size() ? prod.qweights[j] : 0,
+                       want.qweights[j], c.bits);
+    if (prod.qweights.size() != want.qweights.size())
+        return fmt("shape=%s: qweight count prod=%zu ref=%zu",
+                   c.shape.c_str(), prod.qweights.size(),
+                   want.qweights.size());
+    return std::nullopt;
+}
+
+std::optional<std::string>
+runOpmSimulate(uint64_t seed)
+{
+    const QuantCase c = makeQuantCase(seed);
+    const QuantizedModel qm = apollo::quantizeModel(c.model, c.bits);
+    OpmSimulator sim(qm, c.T);
+
+    // The declared hardware widths must cover the exact worst case,
+    // including the once-per-cycle quantized intercept.
+    const ref::CycleSumBounds bounds = ref::opmCycleSumBounds(qm);
+    const uint32_t need =
+        requiredMagnitudeBits(bounds.minSum, bounds.maxSum);
+    if (sim.cycleSumBits() < need)
+        return fmt("shape=%s: cycleSumBits=%u cannot hold worst-case "
+                   "sum range [%lld, %lld] (needs %u bits)",
+                   c.shape.c_str(), sim.cycleSumBits(),
+                   static_cast<long long>(bounds.minSum),
+                   static_cast<long long>(bounds.maxSum), need);
+
+    const std::vector<float> prod = sim.simulate(c.Xq);
+    const std::vector<float> want = ref::opmSimulate(qm, c.Xq, c.T);
+    return compareExact(prod, want,
+                        c.shape + fmt("+B=%u+T=%u", c.bits, c.T));
+}
+
+std::optional<std::string>
+runStreamQuantized(uint64_t seed)
+{
+    const QuantCase c = makeQuantCase(seed);
+    const QuantizedModel qm = apollo::quantizeModel(c.model, c.bits);
+    MatrixChunkReader reader(c.Xq);
+    VectorSink sink;
+    const StreamingInference engine(qm, c.T);
+    const StreamConfig config =
+        StreamConfig().withChunkCycles(streamChunkCycles(seed));
+    auto stats = engine.run(reader, sink, config);
+    if (!stats.ok())
+        return fmt("shape=%s: run failed: %s", c.shape.c_str(),
+                   stats.status().message().c_str());
+    return compareExact(sink.values(), ref::opmSimulate(qm, c.Xq, c.T),
+                        c.shape + fmt("+B=%u+T=%u+chunk=%zu", c.bits,
+                                      c.T, config.chunkCycles));
+}
+
+// ---------------------------------------------------------------------
+// Solver paths (KKT certificate + objective agreement).
+// ---------------------------------------------------------------------
+
+/**
+ * Certify a production fit against the naive reference. The KKT slack
+ * scales with the column count: the production sweep stops when every
+ * coordinate delta (scaled by sqrt(a_j)) is below tol_abs =
+ * tol * std(y), and each later same-sweep update can move another
+ * column's fixed-point residual by at most tol_abs * sqrt(a_k)
+ * (Cauchy-Schwarz on <x_j, x_k>/N), so the post-convergence residual
+ * is bounded by O(m) * tol_abs.
+ */
+std::optional<std::string>
+checkSolver(const FeatureView &X, std::span<const float> y,
+            const CdConfig &cfg, const CdResult &prod,
+            const std::string &shape)
+{
+    const size_t m = X.cols();
+    if (prod.w.size() != m)
+        return fmt("shape=%s: weight arity %zu != cols %zu",
+                   shape.c_str(), prod.w.size(), m);
+    for (size_t j = 0; j < m; ++j) {
+        if (!std::isfinite(prod.w[j]))
+            return fmt("shape=%s: non-finite w[%zu]", shape.c_str(), j);
+        if (cfg.penalty.nonneg && prod.w[j] < 0.0f)
+            return fmt("shape=%s: nonneg violated: w[%zu]=%a",
+                       shape.c_str(), j,
+                       static_cast<double>(prod.w[j]));
+        if (X.sumSquares(j) <= 0.0 && prod.w[j] != 0.0f)
+            return fmt("shape=%s: dead column %zu got weight %a",
+                       shape.c_str(), j,
+                       static_cast<double>(prod.w[j]));
+    }
+    if (!std::isfinite(prod.intercept))
+        return fmt("shape=%s: non-finite intercept", shape.c_str());
+    if (!prod.converged)
+        return std::nullopt; // only invariants for capped fits
+
+    const auto n = static_cast<double>(X.rows());
+    double mu = 0.0;
+    for (float v : y)
+        mu += v;
+    mu /= n;
+    double var = 0.0;
+    for (float v : y)
+        var += (v - mu) * (v - mu);
+    double y_std = std::sqrt(var / n);
+    if (y_std <= 0.0)
+        y_std = 1.0;
+    const double tol_abs = cfg.tol * y_std;
+    const double kkt_slack =
+        (4.0 + 2.0 * static_cast<double>(m)) * tol_abs + 1e-12;
+
+    const double kkt = ref::kktViolation(X, y, prod.w, prod.intercept,
+                                         cfg.penalty);
+    if (kkt > kkt_slack)
+        return fmt("shape=%s: KKT violation %.3e > slack %.3e "
+                   "(tol_abs=%.3e, m=%zu)",
+                   shape.c_str(), kkt, kkt_slack, tol_abs, m);
+
+    const ref::RefFitResult rf = ref::fit(X, y, cfg);
+    if (!rf.converged)
+        return std::nullopt; // no trustworthy objective target
+
+    std::vector<float> rw(rf.w.begin(), rf.w.end());
+    const double obj_prod = ref::objective(X, y, prod.w,
+                                           prod.intercept, cfg.penalty);
+    const double obj_ref =
+        ref::objective(X, y, rw, rf.intercept, cfg.penalty);
+    const double obj_scale = 1.0 + std::abs(obj_ref);
+    if (cfg.penalty.kind == PenaltyKind::Mcp) {
+        // Non-convex: different sweep orders may settle in different
+        // coordinate-wise optima; only gross regressions are bugs.
+        if (obj_prod > obj_ref + 5e-2 * obj_scale)
+            return fmt("shape=%s: MCP objective %.9g far above "
+                       "reference %.9g",
+                       shape.c_str(), obj_prod, obj_ref);
+    } else if (std::abs(obj_prod - obj_ref) > 5e-3 * obj_scale) {
+        return fmt("shape=%s: objective prod=%.9g ref=%.9g differ "
+                   "beyond tolerance",
+                   shape.c_str(), obj_prod, obj_ref);
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+runCdBits(uint64_t seed)
+{
+    const SolverCase sc = makeSolverCase(seed);
+    const BitFeatureView X(sc.X);
+    CdSolver solver(X, sc.y, CdSolver::Options{.parallel = false});
+    const CdResult prod = solver.fit(sc.cfg);
+    return checkSolver(X, sc.y, sc.cfg, prod, sc.shape + "+bits");
+}
+
+std::optional<std::string>
+runCdCounts(uint64_t seed)
+{
+    const SolverCase sc = makeSolverCase(seed);
+    const size_t n = sc.X.rows();
+    const size_t m = sc.X.cols();
+    // Tau-interval toggle counts in 1..4 wherever the bit case
+    // toggled, scaled by 1/tau like the training flow.
+    CountColumnMatrix counts(n, m);
+    for (size_t j = 0; j < m; ++j)
+        for (size_t i = 0; i < n; ++i)
+            if (sc.X.get(i, j))
+                counts.set(i, j,
+                           static_cast<uint8_t>(1 + (i + 3 * j) % 4));
+    const CountFeatureView X(counts, 0.25f);
+    CdSolver solver(X, sc.y, CdSolver::Options{.parallel = false});
+    const CdResult prod = solver.fit(sc.cfg);
+    return checkSolver(X, sc.y, sc.cfg, prod, sc.shape + "+counts");
+}
+
+std::optional<std::string>
+runCdDense(uint64_t seed)
+{
+    const SolverCase sc = makeSolverCase(seed);
+    const size_t n = sc.X.rows();
+    const size_t m = sc.X.cols();
+    DenseColumnMatrix dense(n, m);
+    Xoshiro256StarStar rng(hashMix(seed ^ 0xd15e));
+    for (size_t j = 0; j < m; ++j)
+        for (size_t i = 0; i < n; ++i)
+            if (sc.X.get(i, j))
+                dense.set(i, j,
+                          static_cast<float>(rng.nextRange(0.1, 1.5)));
+    const DenseFeatureView X(dense);
+    CdSolver solver(X, sc.y, CdSolver::Options{.parallel = false});
+    const CdResult prod = solver.fit(sc.cfg);
+    return checkSolver(X, sc.y, sc.cfg, prod, sc.shape + "+dense");
+}
+
+std::optional<std::string>
+runTargetQ(uint64_t seed)
+{
+    const TargetQCase tc = makeTargetQCase(seed);
+    const BitFeatureView X(tc.X);
+    CdSolver solver(X, tc.y, CdSolver::Options{.parallel = false});
+
+    CdConfig base;
+    base.penalty.kind = (hashMix(seed ^ 0x51) % 2) == 0
+                            ? PenaltyKind::Lasso
+                            : PenaltyKind::Mcp;
+    base.penalty.nonneg = (hashMix(seed ^ 0x52) % 3) == 0;
+
+    TargetQDiagnostics diag;
+    const CdResult res =
+        solveForTargetQ(solver, base, tc.targetQ, &diag);
+    const std::string shape =
+        tc.shape + fmt("+targetQ=%zu", tc.targetQ);
+
+    if (res.nonzeros() > tc.targetQ)
+        return fmt("shape=%s: support %zu exceeds target %zu",
+                   shape.c_str(), res.nonzeros(), tc.targetQ);
+    if (res.nonzeros() == 0)
+        return fmt("shape=%s: empty support for informative design",
+                   shape.c_str());
+    if (!(diag.lambda > 0.0) || !std::isfinite(diag.lambda))
+        return fmt("shape=%s: bad search lambda %g", shape.c_str(),
+                   diag.lambda);
+    for (float w : res.w)
+        if (!std::isfinite(w))
+            return fmt("shape=%s: non-finite weight", shape.c_str());
+    if (base.penalty.nonneg)
+        for (float w : res.w)
+            if (w < 0.0f)
+                return fmt("shape=%s: nonneg violated", shape.c_str());
+
+    if (!diag.trimmed && res.converged) {
+        PenaltyConfig at_lambda = base.penalty;
+        at_lambda.lambda = diag.lambda;
+        const CdConfig cfg_here{.penalty = at_lambda,
+                                .tol = base.tol};
+        return checkSolver(X, tc.y, cfg_here, res, shape);
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+const std::vector<OracleEntry> &
+oracleRegistry()
+{
+    static const std::vector<OracleEntry> registry = {
+        {"infer.batch_proxies", runBatchProxies},
+        {"infer.batch_full", runBatchFull},
+        {"infer.windows_eq9", runWindowsEq9},
+        {"infer.stream_percycle", runStreamPerCycle},
+        {"infer.stream_windows", runStreamWindows},
+        {"opm.quantize", runQuantize},
+        {"opm.simulate", runOpmSimulate},
+        {"opm.stream_quantized", runStreamQuantized},
+        {"solver.cd_bits", runCdBits},
+        {"solver.cd_counts", runCdCounts},
+        {"solver.cd_dense", runCdDense},
+        {"solver.target_q", runTargetQ},
+    };
+    return registry;
+}
+
+} // namespace apollo::harness

@@ -15,12 +15,18 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build-asan}
 
 cmake -B "$BUILD_DIR" -S . -DAPOLLO_SANITIZE=ON
-cmake --build "$BUILD_DIR" -j --target apollo_tests
+cmake --build "$BUILD_DIR" -j --target apollo_tests \
+    --target apollo_oracle_tests \
+    --target fuzz_aptr --target fuzz_vcd --target fuzz_dataset
 
 if [[ $# -gt 0 ]]; then
     ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
 else
+    # Streaming suites plus the differential-oracle layer (label
+    # "oracle": every production path vs its reference under
+    # ASan+UBSan) and the corpus-replay fuzz drivers (label "fuzz").
     ctest --test-dir "$BUILD_DIR" --output-on-failure -R \
-        'SliceRows|StreamInfer|StreamSinks|ProxyTraceFormat|VcdStreaming|LoaderStatus|PublicApi|EmulatorFlow'
+        'SliceRows|StreamInfer|StreamSinks|ProxyTraceFormat|VcdStreaming|LoaderStatus|PublicApi|EmulatorFlow|OracleEdges|OracleRegression|AptrStatus|VcdStatus|DatasetStatus'
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -L 'oracle|fuzz'
 fi
 echo "sanitizer run clean"
