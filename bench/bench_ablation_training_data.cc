@@ -49,12 +49,7 @@ main()
 
     // Re-run the GA (same budget as the context builder).
     DatasetBuilder fitness(ctx.netlist);
-    GaConfig ga_cfg;
-    ga_cfg.populationSize = ctx.fast ? 16 : 30;
-    ga_cfg.generations = ctx.fast ? 5 : 10;
-    ga_cfg.fitnessCycles = ctx.fast ? 300 : 600;
-    ga_cfg.fitnessSignalStride = 4;
-    GaGenerator ga(fitness, ga_cfg);
+    GaGenerator ga(fitness, benchGaConfig(ctx.fast));
     ga.run();
 
     const size_t n_benchmarks = ctx.fast ? 16 : 40;

@@ -26,11 +26,7 @@ main()
                 fast ? " [FAST]" : "");
 
     DatasetBuilder builder(netlist);
-    GaConfig cfg;
-    cfg.populationSize = fast ? 16 : 30;
-    cfg.generations = fast ? 5 : 12;
-    cfg.fitnessCycles = fast ? 300 : 600;
-    cfg.fitnessSignalStride = 4;
+    const GaConfig cfg = benchGaConfig(fast, /*full_generations=*/12);
     GaGenerator ga(builder, cfg);
     ga.run();
 
@@ -52,6 +48,14 @@ main()
 
     std::printf("\ntotal micro-benchmarks generated: %zu\n",
                 ga.all().size());
+    const GaRunStats &stats = ga.stats();
+    std::printf("fitness evaluations: %llu (%llu cache hits, %.1f%% "
+                "hit rate, %llu cycles simulated)\n",
+                static_cast<unsigned long long>(stats.evaluations +
+                                                stats.cacheHits),
+                static_cast<unsigned long long>(stats.cacheHits),
+                100.0 * stats.hitRate(),
+                static_cast<unsigned long long>(stats.simulatedCycles));
     std::printf("max/min power ratio across all generations: %.2fx "
                 "(paper: >5x)\n",
                 ga.powerRangeRatio());

@@ -10,7 +10,7 @@ namespace apollo::bench {
 
 namespace {
 
-constexpr uint32_t cacheVersion = 5;
+constexpr uint32_t cacheVersion = 6;
 
 bool
 envFlag(const char *name)
@@ -35,31 +35,27 @@ buildContext(Design design, bool fast)
                                          : DesignConfig::cortexA77ish()),
                 {}, {}, {}, fast};
 
-    // --- GA training-data generation (§4.1) ---
-    DatasetBuilder fitness(ctx.netlist);
-    GaConfig ga_cfg;
-    ga_cfg.populationSize = fast ? 16 : 30;
-    ga_cfg.generations = fast ? 5 : 10;
-    ga_cfg.fitnessCycles = fast ? 300 : 600;
-    ga_cfg.fitnessSignalStride = 4;
-    GaGenerator ga(fitness, ga_cfg);
-    ga.run();
-
+    // --- GA training-data generation (§4.1), single-pass pipeline ---
     // Power-uniform training selection. N1: ~30k training cycles;
     // A77: ~5k (the paper's §7.1 budgets).
     const bool n1 = design == Design::N1ish;
-    const size_t n_benchmarks = fast ? 20 : (n1 ? 60 : 16);
-    const uint64_t cycles_each = fast ? 200 : (n1 ? 500 : 320);
-
-    DatasetBuilder train_builder(ctx.netlist);
-    int idx = 0;
-    for (const GaIndividual &ind : ga.selectTrainingSet(n_benchmarks)) {
-        train_builder.addProgram(
-            GaGenerator::toProgram(ind, "ga" + std::to_string(idx++),
-                                   8000),
-            cycles_each);
-    }
-    ctx.train = train_builder.build();
+    const TrainExportBudget budget = benchTrainBudget(design, fast);
+    TrainingGenOptions opts;
+    opts.ga = benchGaConfig(fast);
+    opts.benchmarks = budget.benchmarks;
+    opts.cyclesEach = budget.cyclesEach;
+    StatusOr<TrainingGenReport> report =
+        generateTrainingSet(ctx.netlist, opts);
+    APOLLO_REQUIRE(report.ok(), report.status().toString());
+    std::fprintf(stderr,
+                 "[bench] GA: %llu evals, cache hit rate %.1f%%, "
+                 "%llu cycles resimulated at export\n",
+                 static_cast<unsigned long long>(
+                     report->gaStats.evaluations),
+                 100.0 * report->gaStats.hitRate(),
+                 static_cast<unsigned long long>(
+                     report->exportSimulatedCycles));
+    ctx.train = std::move(report->dataset);
 
     // --- Designer test suite (Table 4) ---
     // N1: full Table-4 budgets (~15k cycles). A77: ~2k cycles (paper
@@ -82,6 +78,27 @@ buildContext(Design design, bool fast)
 }
 
 } // namespace
+
+GaConfig
+benchGaConfig(bool fast, uint32_t full_generations)
+{
+    GaConfig cfg;
+    cfg.populationSize = fast ? 16 : 30;
+    cfg.generations = fast ? 5 : full_generations;
+    cfg.fitnessCycles = fast ? 300 : 600;
+    cfg.fitnessSignalStride = 4;
+    return cfg;
+}
+
+TrainExportBudget
+benchTrainBudget(Design design, bool fast)
+{
+    const bool n1 = design == Design::N1ish;
+    TrainExportBudget budget;
+    budget.benchmarks = fast ? 20 : (n1 ? 60 : 16);
+    budget.cyclesEach = fast ? 200 : (n1 ? 500 : 320);
+    return budget;
+}
 
 bool
 fastMode()

@@ -46,6 +46,22 @@ struct Context
 /** Build (or load from cache) the context for @p design. */
 Context loadContext(Design design);
 
+/**
+ * The shared Fig. 3 GA configuration (§4.1 budgets), the single
+ * source of truth for every bench and tool that runs the GA.
+ * @p full_generations sets the non-fast generation count (Fig. 3
+ * plots 12; the training contexts use 10).
+ */
+GaConfig benchGaConfig(bool fast, uint32_t full_generations = 10);
+
+/** Training-export budgets shared by the context builders. */
+struct TrainExportBudget
+{
+    size_t benchmarks = 0;
+    uint64_t cyclesEach = 0;
+};
+TrainExportBudget benchTrainBudget(Design design, bool fast);
+
 /** True when APOLLO_BENCH_FAST=1. */
 bool fastMode();
 

@@ -11,16 +11,6 @@ ActivityEngine::ActivityEngine(const Netlist &netlist)
     : netlist_(netlist), seed_(hashMix(netlist.seed() ^ 0xac71ULL))
 {}
 
-float
-ActivityEngine::toggleProbability(const Signal &sig, float activity,
-                                  float data)
-{
-    const float p = sig.baseRate +
-        sig.actSensitivity * activity *
-            (1.0f - sig.dataSensitivity * (1.0f - data));
-    return std::clamp(p, 0.0f, 0.95f);
-}
-
 bool
 ActivityEngine::toggles(uint32_t sig_id,
                         std::span<const ActivityFrame> frames, size_t i,
@@ -41,9 +31,9 @@ ActivityEngine::toggles(uint32_t sig_id,
         const float act = now.act(unit);
         if (act >= 0.999f)
             return true;
-        const uint64_t draw = hashCombine(
-            seed_ ^ (sig_id * 0x9e3779b97f4a7c15ULL), now.cycle);
-        return hashToUnitFloat(draw) < 0.18f + 0.82f * act;
+        const uint64_t draw =
+            hashCombine(signalDrawSeed(sig_id), now.cycle);
+        return hashToUnitFloat(draw) < gatedClockThreshold(act);
       }
 
       case SignalKind::ClockEnable: {
@@ -67,22 +57,20 @@ ActivityEngine::toggles(uint32_t sig_id,
 
     if (sig.kind == SignalKind::BusBit) {
         const Bus &bus = netlist_.bus(static_cast<size_t>(sig.busId));
-        const uint64_t bus_draw = hashCombine(
-            seed_ ^ (0xb5b5ULL + static_cast<uint64_t>(sig.busId)),
-            now.cycle);
-        const float p_event = std::clamp(
-            bus.eventSensitivity * activity, 0.0f, 0.95f);
+        const uint64_t bus_draw =
+            hashCombine(busDrawSeed(sig.busId), now.cycle);
+        const float p_event =
+            busEventThreshold(bus.eventSensitivity, activity);
         if (hashToUnitFloat(bus_draw) >= p_event)
             return false;
         const uint64_t bit_draw =
-            hashCombine(seed_ ^ (sig_id * 0x9e3779b97f4a7c15ULL),
-                        now.cycle);
-        return hashToUnitFloat(bit_draw) < 0.35f + 0.65f * data;
+            hashCombine(signalDrawSeed(sig_id), now.cycle);
+        return hashToUnitFloat(bit_draw) < busBitThreshold(data);
     }
 
     const float p = toggleProbability(sig, activity, data);
-    const uint64_t draw = hashCombine(
-        seed_ ^ (sig_id * 0x9e3779b97f4a7c15ULL), now.cycle);
+    const uint64_t draw =
+        hashCombine(signalDrawSeed(sig_id), now.cycle);
     return hashToUnitFloat(draw) < p;
 }
 

@@ -30,6 +30,7 @@
 #ifndef APOLLO_ACTIVITY_ACTIVITY_ENGINE_HH
 #define APOLLO_ACTIVITY_ACTIVITY_ENGINE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -53,9 +54,55 @@ class ActivityEngine
     bool toggles(uint32_t sig_id, std::span<const ActivityFrame> frames,
                  size_t i, size_t segment_begin = 0) const;
 
-    /** Toggle probability of a (non-clock) signal given its inputs. */
-    static float toggleProbability(const Signal &sig, float activity,
-                                   float data);
+    /**
+     * Toggle probability of a (non-clock) signal given its inputs.
+     * Defined inline so every toggle path (per-cycle and the batched
+     * column generator) compiles the exact same float expression —
+     * the draw comparison must be bit-identical everywhere.
+     */
+    static float
+    toggleProbability(const Signal &sig, float activity, float data)
+    {
+        const float p = sig.baseRate +
+            sig.actSensitivity * activity *
+                (1.0f - sig.dataSensitivity * (1.0f - data));
+        return std::clamp(p, 0.0f, 0.95f);
+    }
+
+    /** Gated-clock draw threshold at unit activity @p act. */
+    static float
+    gatedClockThreshold(float act)
+    {
+        return 0.18f + 0.82f * act;
+    }
+
+    /** Bus-event draw threshold for a bus at lookback activity. */
+    static float
+    busEventThreshold(float event_sensitivity, float activity)
+    {
+        return std::clamp(event_sensitivity * activity, 0.0f, 0.95f);
+    }
+
+    /** Bus-bit draw threshold at lookback data factor. */
+    static float
+    busBitThreshold(float data)
+    {
+        return 0.35f + 0.65f * data;
+    }
+
+    /** Hash seed of @p sig_id's per-cycle draw stream. */
+    uint64_t
+    signalDrawSeed(uint32_t sig_id) const
+    {
+        return seed_ ^ (sig_id * 0x9e3779b97f4a7c15ULL);
+    }
+
+    /** Hash seed of a bus's per-cycle event-draw stream. */
+    uint64_t
+    busDrawSeed(int32_t bus_id) const
+    {
+        return seed_ ^ (0xb5b5ULL + static_cast<uint64_t>(bus_id));
+    }
 
     const Netlist &netlist() const { return netlist_; }
 

@@ -185,4 +185,58 @@ makeLongWorkload(const std::string &name, uint64_t approx_cycles,
     return prog;
 }
 
+StatusOr<TrainingGenReport>
+generateTrainingSet(const Netlist &netlist,
+                    const TrainingGenOptions &options,
+                    const CoreParams &core_params,
+                    const PowerParams &power_params)
+{
+    if (Status st = options.ga.validate(); !st.ok())
+        return st;
+    if (options.benchmarks == 0)
+        return Status::invalidArgument("benchmarks must be >= 1");
+    if (options.cyclesEach == 0)
+        return Status::invalidArgument("cyclesEach must be >= 1");
+
+    DatasetBuilder builder(netlist, core_params, power_params);
+    GaGenerator ga(builder, options.ga);
+    ga.run();
+
+    TrainingGenReport rep;
+    rep.gaStats = ga.stats();
+    rep.powerRangeRatio = ga.powerRangeRatio();
+    rep.bestPower = ga.best().avgPower;
+
+    // Single-pass export: selected individuals' frames were already
+    // captured during fitness simulation; re-simulation (with the
+    // identical loop trip count, hence bit-identical frames) is only a
+    // fallback for frames the capture cannot serve.
+    const std::vector<GaIndividual> selected =
+        ga.selectTrainingSet(options.benchmarks);
+    int idx = 0;
+    for (const GaIndividual &ind : selected) {
+        const std::string name = "ga" + std::to_string(idx++);
+        std::span<const ActivityFrame> captured =
+            options.reuseCapturedFrames
+                ? ga.capturedFrames(ind.id)
+                : std::span<const ActivityFrame>{};
+        if (captured.size() >= options.cyclesEach) {
+            builder.addFrames(name,
+                              captured.subspan(0, options.cyclesEach));
+        } else {
+            const size_t before = builder.frames().size();
+            builder.addProgram(
+                GaGenerator::toProgram(
+                    ind, name,
+                    GaGenerator::fitnessIterations(
+                        ind.body.size(), options.ga.fitnessCycles)),
+                options.cyclesEach);
+            rep.exportSimulatedCycles +=
+                builder.frames().size() - before;
+        }
+    }
+    rep.dataset = builder.build();
+    return rep;
+}
+
 } // namespace apollo

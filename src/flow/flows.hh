@@ -22,9 +22,11 @@
 
 #include "core/apollo_model.hh"
 #include "flow/stream_engine.hh"
+#include "gen/ga_generator.hh"
 #include "power/power_oracle.hh"
 #include "trace/toggle_trace.hh"
 #include "uarch/core.hh"
+#include "util/status.hh"
 
 namespace apollo {
 
@@ -103,6 +105,47 @@ class DesignTimeFlows
  */
 Program makeLongWorkload(const std::string &name, uint64_t approx_cycles,
                          uint64_t seed = 0x10119ULL);
+
+/** Options for the GA training-data generation flow (§4.1 / Fig. 3). */
+struct TrainingGenOptions
+{
+    GaConfig ga;
+    /** Individuals selected (power-uniformly) for the dataset. */
+    size_t benchmarks = 60;
+    /** Cycles exported per selected individual. */
+    uint64_t cyclesEach = 500;
+    /**
+     * Reuse frames captured during fitness simulation (single-pass
+     * export). When off — or when a selected individual's captured
+     * frames are shorter than cyclesEach — the individual is
+     * re-simulated with the same loop trip count, which produces
+     * bit-identical frames (docs/INTERNALS.md §9).
+     */
+    bool reuseCapturedFrames = true;
+};
+
+/** Result of the training-data generation flow. */
+struct TrainingGenReport
+{
+    Dataset dataset;
+    GaRunStats gaStats;
+    double powerRangeRatio = 0.0;
+    double bestPower = 0.0;
+    /** Cycles simulated at export time (0 when every selected
+     *  individual was served from the fitness-capture pool). */
+    uint64_t exportSimulatedCycles = 0;
+};
+
+/**
+ * End-to-end §4.1 training-data generation: run the GA, select a
+ * power-uniform subset, and export the per-cycle dataset in a single
+ * pass over the fitness simulations. Returns InvalidArgument for a
+ * malformed configuration (e.g. ga.fitnessSignalStride == 0).
+ */
+StatusOr<TrainingGenReport> generateTrainingSet(
+    const Netlist &netlist, const TrainingGenOptions &options,
+    const CoreParams &core_params = CoreParams::defaults(),
+    const PowerParams &power_params = PowerParams{});
 
 } // namespace apollo
 

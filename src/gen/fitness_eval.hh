@@ -1,0 +1,76 @@
+/**
+ * @file
+ * FitnessEvaluator: the GA fitness power computation over a simulated
+ * frame window — average finalized oracle power from every stride-th
+ * signal, scaled back up (relative ordering is all the GA needs).
+ *
+ * Two implementations of the same numeric definition (INTERNALS.md §9):
+ *  - vectorized (production): column-major batched toggle generation
+ *    (ToggleColumnGenerator) feeding weighted bit-column accumulation
+ *    (OracleAccumulator) — the fast path;
+ *  - scalar: a per-cycle, per-signal loop computing the identical
+ *    float accumulation order, kept as the in-tree baseline the perf
+ *    bench layers against (the independent oracle lives in src/ref).
+ *
+ * Both paths are bit-identical for any frames/stride; the evaluator
+ * owns reusable scratch so per-individual evaluation allocates nothing
+ * after warm-up. Instances are not thread-safe; the GA keeps one per
+ * worker.
+ */
+
+#ifndef APOLLO_GEN_FITNESS_EVAL_HH
+#define APOLLO_GEN_FITNESS_EVAL_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "activity/toggle_columns.hh"
+#include "power/oracle_accumulator.hh"
+
+namespace apollo {
+
+/** Fitness computation options. */
+struct FitnessOptions
+{
+    /** Evaluate every stride-th signal (>= 1; validated by GaConfig). */
+    uint32_t signalStride = 1;
+    /** Use the batched column/bit-kernel path. */
+    bool vectorized = true;
+};
+
+/** Reusable GA fitness evaluator (one per worker). */
+class FitnessEvaluator
+{
+  public:
+    FitnessEvaluator(const Netlist &netlist, const ActivityEngine &engine,
+                     const PowerOracle &oracle,
+                     const FitnessOptions &options = {});
+
+    /**
+     * Finalized per-cycle power over @p frames (one segment, lookbacks
+     * clamp at index 0), estimated from the strided signal subset.
+     */
+    void cyclePowers(std::span<const ActivityFrame> frames,
+                     std::vector<double> &out);
+
+    /** Mean of cyclePowers (0.0 for an empty window). */
+    double averagePower(std::span<const ActivityFrame> frames);
+
+  private:
+    void cyclePowersScalar(std::span<const ActivityFrame> frames,
+                           std::vector<double> &out);
+
+    const Netlist &netlist_;
+    const ActivityEngine &engine_;
+    const PowerOracle &oracle_;
+    FitnessOptions options_;
+    ToggleColumnGenerator gen_;
+    OracleAccumulator acc_;
+    std::vector<uint64_t> colWords_;
+    std::vector<double> powers_;
+};
+
+} // namespace apollo
+
+#endif // APOLLO_GEN_FITNESS_EVAL_HH

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "gen/fitness_eval.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace apollo {
 
@@ -93,16 +95,82 @@ randomInstruction(Xoshiro256StarStar &rng)
     return nop();
 }
 
+bool
+genomesEqual(const std::vector<Instruction> &a_body, uint64_t a_seed,
+             const std::vector<Instruction> &b_body, uint64_t b_seed)
+{
+    if (a_seed != b_seed || a_body.size() != b_body.size())
+        return false;
+    for (size_t i = 0; i < a_body.size(); ++i) {
+        const Instruction &a = a_body[i];
+        const Instruction &b = b_body[i];
+        if (a.op != b.op || a.rd != b.rd || a.rn != b.rn ||
+            a.rm != b.rm || a.imm != b.imm)
+            return false;
+    }
+    return true;
+}
+
 } // namespace
+
+/** Cached fitness of one unique genome. */
+struct GaGenerator::CacheEntry
+{
+    std::vector<Instruction> body;
+    uint64_t dataSeed = 0;
+    double fitness = 0.0;
+    int64_t frameRef = -1;
+};
+
+/** Per-worker reusable evaluation state. */
+struct GaGenerator::EvalScratch
+{
+    std::vector<ActivityFrame> frames;
+    FitnessEvaluator eval;
+
+    EvalScratch(const DatasetBuilder &builder,
+                const FitnessOptions &options)
+        : eval(builder.netlist(), builder.engine(), builder.oracle(),
+               options)
+    {}
+};
+
+Status
+GaConfig::validate() const
+{
+    if (populationSize < 4)
+        return Status::invalidArgument("populationSize must be >= 4, got ",
+                                       populationSize);
+    if (elites >= populationSize)
+        return Status::invalidArgument("elites (", elites,
+                                       ") must be < populationSize (",
+                                       populationSize, ")");
+    if (tournamentSize == 0)
+        return Status::invalidArgument("tournamentSize must be >= 1");
+    if (generations == 0)
+        return Status::invalidArgument("generations must be >= 1");
+    if (bodyMinLen < 2 || bodyMaxLen < bodyMinLen)
+        return Status::invalidArgument(
+            "body length bounds invalid: min ", bodyMinLen, ", max ",
+            bodyMaxLen, " (need 2 <= min <= max)");
+    if (fitnessCycles == 0)
+        return Status::invalidArgument("fitnessCycles must be >= 1");
+    if (fitnessSignalStride == 0)
+        return Status::invalidArgument(
+            "fitnessSignalStride must be >= 1 (stride 0 would sample "
+            "no signals and divide by zero)");
+    return Status::okStatus();
+}
 
 GaGenerator::GaGenerator(const DatasetBuilder &builder,
                          const GaConfig &config)
     : builder_(builder), config_(config)
 {
-    APOLLO_REQUIRE(config.populationSize >= 4, "population too small");
-    APOLLO_REQUIRE(config.elites < config.populationSize,
-                   "elites must be < population");
+    const Status st = config.validate();
+    APOLLO_REQUIRE(st.ok(), st.toString());
 }
+
+GaGenerator::~GaGenerator() = default;
 
 std::vector<Instruction>
 GaGenerator::randomBody(Xoshiro256StarStar &rng, uint32_t min_len,
@@ -135,18 +203,40 @@ GaGenerator::toProgram(const GaIndividual &ind, const std::string &name,
     return Program::makeLoop(name, ind.body, iterations, ind.dataSeed);
 }
 
-void
-GaGenerator::evaluate(GaIndividual &ind) const
+int
+GaGenerator::fitnessIterations(size_t body_len, uint64_t fitness_cycles)
 {
     // Trip count sized so the loop comfortably outlives the cycle
     // budget (the simulation is capped at fitnessCycles).
-    const int iters = std::clamp<int>(
-        static_cast<int>(5 * (config_.fitnessCycles + 400) /
-                         ind.body.size()),
-        4, 8000);
-    const Program prog = toProgram(ind, "ga", iters);
-    ind.avgPower = builder_.averagePower(prog, config_.fitnessCycles,
-                                         config_.fitnessSignalStride);
+    return std::clamp<int>(
+        static_cast<int>(5 * (fitness_cycles + 400) / body_len), 4,
+        8000);
+}
+
+uint64_t
+GaGenerator::genomeKey(const GaIndividual &ind)
+{
+    uint64_t h = hashMix(ind.dataSeed ^ 0x9a6e57e21c35ULL);
+    for (const Instruction &inst : ind.body) {
+        const uint64_t packed =
+            (static_cast<uint64_t>(inst.op) << 56) |
+            (static_cast<uint64_t>(inst.rd) << 48) |
+            (static_cast<uint64_t>(inst.rn) << 40) |
+            (static_cast<uint64_t>(inst.rm) << 32) |
+            static_cast<uint64_t>(static_cast<uint32_t>(inst.imm));
+        h = hashCombine(h, packed);
+    }
+    return h;
+}
+
+Xoshiro256StarStar
+GaGenerator::slotStream(uint32_t generation, uint32_t slot) const
+{
+    // Counter-seeded per-slot streams: reproduction draws depend only
+    // on (config seed, generation, slot), never on evaluation order —
+    // the invariant that makes the trajectory thread-count-invariant.
+    return Xoshiro256StarStar(
+        hashCombine(config_.seed, hashCombine(generation, slot)));
 }
 
 const GaIndividual &
@@ -195,39 +285,219 @@ GaGenerator::mutate(GaIndividual &ind, Xoshiro256StarStar &rng) const
     }
 }
 
+GaGenerator::EvalScratch *
+GaGenerator::acquireScratch()
+{
+    std::lock_guard<std::mutex> lock(scratchMutex_);
+    if (!freeScratch_.empty()) {
+        EvalScratch *s = freeScratch_.back();
+        freeScratch_.pop_back();
+        return s;
+    }
+    FitnessOptions options;
+    options.signalStride = config_.fitnessSignalStride;
+    options.vectorized = config_.vectorizedFitness;
+    scratchPool_.push_back(
+        std::make_unique<EvalScratch>(builder_, options));
+    return scratchPool_.back().get();
+}
+
+void
+GaGenerator::releaseScratch(EvalScratch *scratch)
+{
+    std::lock_guard<std::mutex> lock(scratchMutex_);
+    freeScratch_.push_back(scratch);
+}
+
+void
+GaGenerator::evaluatePopulation(std::vector<GaIndividual> &population,
+                                uint32_t generation)
+{
+    const size_t pop_size = population.size();
+
+    // Serial resolution pass (ascending slot): look each genome up in
+    // the cross-generation cache, then deduplicate within the
+    // generation. Counters and the miss list depend only on slot
+    // order, so they are identical at any thread count.
+    struct Resolved
+    {
+        bool fromCache = false;
+        double fitness = 0.0;
+        int64_t frameRef = -1;
+        size_t missIndex = 0;
+    };
+    std::vector<Resolved> resolved(pop_size);
+    std::vector<size_t> miss_slots;
+    std::vector<uint64_t> miss_keys;
+    std::unordered_map<uint64_t, std::vector<size_t>> scheduled;
+
+    for (size_t k = 0; k < pop_size; ++k) {
+        const GaIndividual &ind = population[k];
+        const uint64_t key = genomeKey(ind);
+
+        if (config_.cacheFitness) {
+            bool hit = false;
+            if (auto it = cache_.find(key); it != cache_.end()) {
+                for (const CacheEntry &entry : it->second) {
+                    if (genomesEqual(entry.body, entry.dataSeed,
+                                     ind.body, ind.dataSeed)) {
+                        resolved[k] = {true, entry.fitness,
+                                       entry.frameRef, 0};
+                        hit = true;
+                        break;
+                    }
+                }
+            }
+            if (!hit) {
+                if (auto it = scheduled.find(key);
+                    it != scheduled.end()) {
+                    for (size_t j : it->second) {
+                        const GaIndividual &first =
+                            population[miss_slots[j]];
+                        if (genomesEqual(first.body, first.dataSeed,
+                                         ind.body, ind.dataSeed)) {
+                            // Duplicate within this generation:
+                            // evaluated once, shared by both slots.
+                            resolved[k] = {false, 0.0, -1, j};
+                            stats_.cacheHits++;
+                            hit = true;
+                            break;
+                        }
+                    }
+                }
+                if (!hit) {
+                    resolved[k] = {false, 0.0, -1, miss_slots.size()};
+                    scheduled[key].push_back(miss_slots.size());
+                    miss_slots.push_back(k);
+                    miss_keys.push_back(key);
+                    stats_.cacheMisses++;
+                }
+            } else if (resolved[k].fromCache) {
+                stats_.cacheHits++;
+            }
+        } else {
+            resolved[k] = {false, 0.0, -1, miss_slots.size()};
+            miss_slots.push_back(k);
+            miss_keys.push_back(key);
+            stats_.cacheMisses++;
+        }
+    }
+
+    // Parallel fitness evaluation of the unique misses. Workers share
+    // nothing but the scratch freelist; each result slot is written by
+    // exactly one worker, and no RNG is consumed.
+    struct MissResult
+    {
+        double fitness = 0.0;
+        uint64_t cycles = 0;
+        std::vector<ActivityFrame> frames;
+    };
+    std::vector<MissResult> results(miss_slots.size());
+
+    ThreadPool &workers = config_.threads == 0
+                              ? ThreadPool::global()
+                              : (localPool_ ? *localPool_
+                                            : *(localPool_ =
+                                                    std::make_unique<
+                                                        ThreadPool>(
+                                                        config_.threads)));
+    workers.parallelFor(miss_slots.size(), [&](size_t j0, size_t j1) {
+        EvalScratch *scratch = acquireScratch();
+        for (size_t j = j0; j < j1; ++j) {
+            const GaIndividual &ind = population[miss_slots[j]];
+            const Program prog = toProgram(
+                ind, "ga",
+                fitnessIterations(ind.body.size(),
+                                  config_.fitnessCycles));
+            scratch->frames.clear();
+            TimingCore core(builder_.coreParams());
+            core.run(prog, config_.fitnessCycles,
+                     [&](const ActivityFrame &f) {
+                         scratch->frames.push_back(f);
+                     });
+            MissResult &r = results[j];
+            r.fitness = scratch->eval.averagePower(scratch->frames);
+            r.cycles = scratch->frames.size();
+            if (config_.captureFrames)
+                r.frames = scratch->frames;
+        }
+        releaseScratch(scratch);
+    });
+
+    // Serial commit pass (miss order, then slot order): move captured
+    // frames into the pool, insert cache entries, assign fitness.
+    std::vector<int64_t> miss_frame_ref(miss_slots.size(), -1);
+    for (size_t j = 0; j < miss_slots.size(); ++j) {
+        MissResult &r = results[j];
+        stats_.evaluations++;
+        stats_.simulatedCycles += r.cycles;
+        if (config_.captureFrames) {
+            miss_frame_ref[j] =
+                static_cast<int64_t>(framePool_.size());
+            framePool_.push_back(std::move(r.frames));
+        }
+        if (config_.cacheFitness) {
+            const GaIndividual &ind = population[miss_slots[j]];
+            cache_[miss_keys[j]].push_back(CacheEntry{
+                ind.body, ind.dataSeed, r.fitness, miss_frame_ref[j]});
+        }
+    }
+
+    for (size_t k = 0; k < pop_size; ++k) {
+        GaIndividual &ind = population[k];
+        ind.generation = generation;
+        if (resolved[k].fromCache) {
+            ind.avgPower = resolved[k].fitness;
+            frameRefOf_.push_back(resolved[k].frameRef);
+        } else {
+            const size_t j = resolved[k].missIndex;
+            ind.avgPower = results[j].fitness;
+            frameRefOf_.push_back(miss_frame_ref[j]);
+        }
+        ind.id = all_.size();
+        all_.push_back(ind);
+    }
+}
+
 void
 GaGenerator::run()
 {
-    Xoshiro256StarStar rng(config_.seed);
+    all_.clear();
+    frameRefOf_.clear();
+    framePool_.clear();
+    cache_.clear();
+    stats_ = GaRunStats{};
 
     std::vector<GaIndividual> population;
     population.reserve(config_.populationSize);
-    for (uint32_t i = 0; i < config_.populationSize; ++i)
+    for (uint32_t k = 0; k < config_.populationSize; ++k) {
+        Xoshiro256StarStar rng = slotStream(0, k);
         population.push_back(randomIndividual(rng, 0));
+    }
 
     for (uint32_t gen = 0; gen < config_.generations; ++gen) {
-        for (GaIndividual &ind : population) {
-            ind.generation = gen;
-            evaluate(ind);
-            all_.push_back(ind);
-        }
+        evaluatePopulation(population, gen);
 
         if (gen + 1 == config_.generations)
             break;
 
-        // Elitism + tournament reproduction.
+        // Elitism + tournament reproduction. stable_sort keeps
+        // equal-fitness order (duplicates are common once the cache
+        // kicks in) independent of the sort implementation.
         std::vector<GaIndividual> sorted = population;
-        std::sort(sorted.begin(), sorted.end(),
-                  [](const GaIndividual &a, const GaIndividual &b) {
-                      return a.avgPower > b.avgPower;
-                  });
+        std::stable_sort(sorted.begin(), sorted.end(),
+                         [](const GaIndividual &a, const GaIndividual &b) {
+                             return a.avgPower > b.avgPower;
+                         });
 
         std::vector<GaIndividual> next;
         next.reserve(config_.populationSize);
         for (uint32_t e = 0; e < config_.elites; ++e)
             next.push_back(sorted[e]);
 
-        while (next.size() < config_.populationSize) {
+        for (uint32_t slot = config_.elites;
+             slot < config_.populationSize; ++slot) {
+            Xoshiro256StarStar rng = slotStream(gen + 1, slot);
             GaIndividual child = tournament(population, rng);
             if (rng.nextDouble() < config_.crossoverRate) {
                 const GaIndividual &other = tournament(population, rng);
@@ -253,6 +523,16 @@ GaGenerator::run()
         }
         population = std::move(next);
     }
+}
+
+std::span<const ActivityFrame>
+GaGenerator::capturedFrames(size_t id) const
+{
+    APOLLO_REQUIRE(id < frameRefOf_.size(), "unknown individual id");
+    const int64_t ref = frameRefOf_[id];
+    if (ref < 0)
+        return {};
+    return framePool_[static_cast<size_t>(ref)];
 }
 
 const GaIndividual &

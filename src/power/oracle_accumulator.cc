@@ -1,0 +1,72 @@
+#include "power/oracle_accumulator.hh"
+
+#include "util/bitvec_kernels.hh"
+#include "util/logging.hh"
+
+namespace apollo {
+
+OracleAccumulator::OracleAccumulator(const Netlist &netlist,
+                                     const PowerOracle &oracle)
+    : netlist_(netlist), oracle_(oracle)
+{
+    const size_t m = netlist.signalCount();
+    baseW_.resize(m);
+    glitchW_.resize(m);
+    unitOf_.resize(m);
+    const double half_v2 = oracle.halfVddSquared();
+    const double gf = oracle.params().glitchFactor;
+    for (size_t j = 0; j < m; ++j) {
+        const Signal &sig = netlist.signal(j);
+        baseW_[j] = static_cast<float>(half_v2 * sig.cap);
+        glitchW_[j] =
+            (sig.kind == SignalKind::CombWire && sig.glitchDepth > 0)
+                ? static_cast<float>(half_v2 * gf * sig.cap *
+                                     sig.glitchDepth)
+                : 0.0f;
+        unitOf_[j] = static_cast<uint8_t>(sig.unit);
+    }
+}
+
+void
+OracleAccumulator::begin(size_t n_cycles)
+{
+    n_ = n_cycles;
+    words_ = (n_ + 63) / 64;
+    baseAcc_.assign(n_, 0.0f);
+    glitchAcc_.assign(numUnits * n_, 0.0f);
+    unitUsed_.assign(numUnits, false);
+}
+
+void
+OracleAccumulator::addColumn(uint32_t sig_id, const uint64_t *words)
+{
+    bitkernels::axpyWords(words, words_, n_, baseW_[sig_id],
+                          baseAcc_.data());
+    const float gw = glitchW_[sig_id];
+    if (gw != 0.0f) {
+        const size_t u = unitOf_[sig_id];
+        unitUsed_[u] = true;
+        bitkernels::axpyWords(words, words_, n_, gw,
+                              glitchAcc_.data() + u * n_);
+    }
+}
+
+void
+OracleAccumulator::finish(std::span<const ActivityFrame> frames,
+                          double scale, std::vector<double> &out) const
+{
+    APOLLO_REQUIRE(frames.size() == n_, "frame count mismatch");
+    out.resize(n_);
+    for (size_t i = 0; i < n_; ++i) {
+        double sum = static_cast<double>(baseAcc_[i]);
+        for (size_t u = 0; u < numUnits; ++u) {
+            if (!unitUsed_[u])
+                continue;
+            sum += static_cast<double>(frames[i].activity[u]) *
+                   static_cast<double>(glitchAcc_[u * n_ + i]);
+        }
+        out[i] = oracle_.finalize(sum * scale, i);
+    }
+}
+
+} // namespace apollo

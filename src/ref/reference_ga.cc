@@ -1,0 +1,66 @@
+#include "ref/reference_ga.hh"
+
+namespace apollo::ref {
+
+std::vector<uint8_t>
+toggleColumn(const ActivityEngine &engine,
+             std::span<const ActivityFrame> frames, uint32_t sig_id)
+{
+    std::vector<uint8_t> out(frames.size(), 0);
+    for (size_t i = 0; i < frames.size(); ++i)
+        out[i] = engine.toggles(sig_id, frames, i, 0) ? 1 : 0;
+    return out;
+}
+
+std::vector<double>
+fitnessCyclePowers(const Netlist &netlist, const ActivityEngine &engine,
+                   const PowerOracle &oracle,
+                   std::span<const ActivityFrame> frames, uint32_t stride)
+{
+    const double half_v2 = oracle.halfVddSquared();
+    const double glitch_factor = oracle.params().glitchFactor;
+    const size_t m = netlist.signalCount();
+    const size_t n = frames.size();
+
+    std::vector<double> out(n);
+    for (size_t i = 0; i < n; ++i) {
+        float base = 0.0f;
+        float glitch[numUnits] = {};
+        for (size_t j = 0; j < m; j += stride) {
+            const auto sig_id = static_cast<uint32_t>(j);
+            if (!engine.toggles(sig_id, frames, i, 0))
+                continue;
+            const Signal &sig = netlist.signal(sig_id);
+            base += static_cast<float>(half_v2 * sig.cap);
+            if (sig.kind == SignalKind::CombWire && sig.glitchDepth > 0)
+                glitch[static_cast<size_t>(sig.unit)] +=
+                    static_cast<float>(half_v2 * glitch_factor *
+                                       sig.cap * sig.glitchDepth);
+        }
+        double sum = static_cast<double>(base);
+        for (size_t u = 0; u < numUnits; ++u)
+            sum += static_cast<double>(frames[i].activity[u]) *
+                   static_cast<double>(glitch[u]);
+        out[i] =
+            oracle.finalize(sum * static_cast<double>(stride), i);
+    }
+    return out;
+}
+
+double
+fitnessAveragePower(const Netlist &netlist, const ActivityEngine &engine,
+                    const PowerOracle &oracle,
+                    std::span<const ActivityFrame> frames,
+                    uint32_t stride)
+{
+    if (frames.empty())
+        return 0.0;
+    const std::vector<double> powers =
+        fitnessCyclePowers(netlist, engine, oracle, frames, stride);
+    double total = 0.0;
+    for (double p : powers)
+        total += p;
+    return total / static_cast<double>(powers.size());
+}
+
+} // namespace apollo::ref

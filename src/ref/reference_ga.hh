@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Naive references for the GA training-data generation pipeline
+ * (docs/INTERNALS.md §8, §9): per-cycle toggle columns and the fitness
+ * power estimate, written as literal transcriptions of the defined
+ * per-cycle semantics — no batching, no bit kernels, no caching, no
+ * shared code with activity/toggle_columns or power/oracle_accumulator
+ * beyond the data containers.
+ *
+ * The production fitness pipeline is *defined* to be bit-exact against
+ * this transcription (shared abstract accumulation order: float
+ * contribution adds over ascending strided signals, double glitch
+ * combine over ascending units, finalize, double mean over ascending
+ * cycles), so the differential comparison is exact equality.
+ */
+
+#ifndef APOLLO_REF_REFERENCE_GA_HH
+#define APOLLO_REF_REFERENCE_GA_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "activity/activity_engine.hh"
+#include "power/power_oracle.hh"
+
+namespace apollo::ref {
+
+/**
+ * Literal single-segment toggle column: out[i] = 1 iff
+ * engine.toggles(sig_id, frames, i, 0). Oracle for
+ * ToggleColumnGenerator::fillColumn (bit i of the packed words).
+ */
+std::vector<uint8_t> toggleColumn(const ActivityEngine &engine,
+                                  std::span<const ActivityFrame> frames,
+                                  uint32_t sig_id);
+
+/**
+ * Literal §4.1 fitness power transcription over one frame segment:
+ * per cycle, a float sum of 1/2 V^2 cap_j over every toggling strided
+ * signal (ascending j) plus per-unit float glitch sums
+ * (1/2 V^2 glitchFactor cap_j glitchDepth_j for toggling CombWires),
+ * combined in double over ascending units with the unit activity
+ * factors, scaled by the stride, then PowerOracle::finalize. Weights
+ * are recomputed here from the Signal fields and oracle parameters.
+ * Bit-exact oracle for FitnessEvaluator::cyclePowers (both the
+ * vectorized and the scalar production paths).
+ */
+std::vector<double> fitnessCyclePowers(
+    const Netlist &netlist, const ActivityEngine &engine,
+    const PowerOracle &oracle, std::span<const ActivityFrame> frames,
+    uint32_t stride);
+
+/**
+ * Double mean of fitnessCyclePowers in ascending-cycle order (0.0 for
+ * an empty segment). Bit-exact oracle for
+ * FitnessEvaluator::averagePower — and thereby for every
+ * GaIndividual::avgPower the GA pipeline records, cached or not.
+ */
+double fitnessAveragePower(const Netlist &netlist,
+                           const ActivityEngine &engine,
+                           const PowerOracle &oracle,
+                           std::span<const ActivityFrame> frames,
+                           uint32_t stride);
+
+} // namespace apollo::ref
+
+#endif // APOLLO_REF_REFERENCE_GA_HH

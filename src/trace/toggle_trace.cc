@@ -3,6 +3,7 @@
 #include <map>
 #include <mutex>
 
+#include "gen/fitness_eval.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -37,6 +38,19 @@ DatasetBuilder::addProgram(const Program &prog, uint64_t max_cycles,
     seg.end = frames_.size();
     segments_.push_back(seg);
     return stats;
+}
+
+void
+DatasetBuilder::addFrames(const std::string &name,
+                          std::span<const ActivityFrame> frames)
+{
+    APOLLO_REQUIRE(!frames.empty(), "no frames to add");
+    SegmentInfo seg;
+    seg.name = name;
+    seg.begin = frames_.size();
+    frames_.insert(frames_.end(), frames.begin(), frames.end());
+    seg.end = frames_.size();
+    segments_.push_back(seg);
 }
 
 std::vector<uint32_t>
@@ -105,34 +119,15 @@ DatasetBuilder::averagePower(const Program &prog, uint64_t max_cycles,
 {
     APOLLO_REQUIRE(signal_stride >= 1, "stride must be positive");
     // Fitness evaluation: simulate, then compute power on the fly from
-    // frames without storing features. Row-wise, one pass.
+    // frames without storing features.
     TimingCore core(coreParams_);
     std::vector<ActivityFrame> frames;
     core.run(prog, max_cycles,
              [&](const ActivityFrame &f) { frames.push_back(f); });
-    if (frames.empty())
-        return 0.0;
-
-    const size_t m = netlist_.signalCount();
-    std::span<const ActivityFrame> fspan(frames);
-    std::vector<double> cycle_power(frames.size(), 0.0);
-    parallelFor(frames.size(), [&](size_t i0, size_t i1) {
-        for (size_t i = i0; i < i1; ++i) {
-            double acc = 0.0;
-            for (size_t c = 0; c < m; c += signal_stride) {
-                const auto sig_id = static_cast<uint32_t>(c);
-                if (engine_.toggles(sig_id, fspan, i, 0))
-                    acc += oracle_.signalContribution(sig_id, fspan[i]);
-            }
-            cycle_power[i] =
-                oracle_.finalize(acc * signal_stride, i);
-        }
-    });
-
-    double total = 0.0;
-    for (double p : cycle_power)
-        total += p;
-    return total / static_cast<double>(frames.size());
+    FitnessOptions options;
+    options.signalStride = signal_stride;
+    FitnessEvaluator eval(netlist_, engine_, oracle_, options);
+    return eval.averagePower(frames);
 }
 
 BitColumnMatrix

@@ -40,6 +40,15 @@ class DatasetBuilder
     CoreStats addProgram(const Program &prog, uint64_t max_cycles,
                          ThrottleMode throttle);
 
+    /**
+     * Append already-simulated frames as a new segment named @p name —
+     * the single-pass export path: frames captured during GA fitness
+     * simulation are reused here instead of re-simulating the program
+     * (bit-identical, since the timing core is deterministic).
+     */
+    void addFrames(const std::string &name,
+                   std::span<const ActivityFrame> frames);
+
     /** Frames collected so far. */
     const std::vector<ActivityFrame> &frames() const { return frames_; }
     const std::vector<SegmentInfo> &segments() const { return segments_; }
@@ -56,12 +65,14 @@ class DatasetBuilder
      * features; used as the GA fitness function. @p signal_stride > 1
      * estimates power from every stride-th signal (scaled back up) —
      * fitness only needs relative ordering, and sampling cuts cost
-     * proportionally.
+     * proportionally. Runs the gen/fitness_eval.hh pipeline (batched
+     * toggle columns + bit-kernel accumulation; INTERNALS.md §9).
      */
     double averagePower(const Program &prog, uint64_t max_cycles,
                         uint32_t signal_stride = 1) const;
 
     const Netlist &netlist() const { return netlist_; }
+    const CoreParams &coreParams() const { return coreParams_; }
     const ActivityEngine &engine() const { return engine_; }
     const PowerOracle &oracle() const { return oracle_; }
 

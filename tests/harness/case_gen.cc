@@ -336,4 +336,186 @@ streamChunkCycles(uint64_t seed)
     return kChunks[hashMix(seed ^ 0xc4) % std::size(kChunks)];
 }
 
+namespace {
+
+/** A miniature random design: a handful of units with buses and gated
+ *  clocks, small enough for hundreds of cases per test run. */
+Netlist
+miniDesign(Xoshiro256StarStar &rng)
+{
+    static constexpr UnitId kUnits[] = {
+        UnitId::Fetch,  UnitId::Decode,    UnitId::IntAlu,
+        UnitId::VecExec, UnitId::LoadStore, UnitId::DCache,
+        UnitId::ClockTree, UnitId::Misc,
+    };
+    DesignConfig cfg;
+    cfg.name = "mini";
+    cfg.seed = rng();
+    cfg.ffPerClockGate = 8; // gated clocks even at tiny unit sizes
+    const size_t n_units = 3 + rng.nextBounded(4);
+    for (size_t u = 0; u < n_units; ++u) {
+        UnitConfig uc;
+        uc.unit = kUnits[(rng.nextBounded(std::size(kUnits)) + u) %
+                         std::size(kUnits)];
+        uc.signals = 8 + static_cast<uint32_t>(rng.nextBounded(32));
+        uc.busCount = static_cast<uint32_t>(rng.nextBounded(3));
+        uc.busWidth = 4 + static_cast<uint32_t>(rng.nextBounded(5));
+        uc.capScale = static_cast<float>(rng.nextRange(0.5, 2.0));
+        cfg.units.push_back(uc);
+    }
+    return DesignBuilder::build(cfg);
+}
+
+ActivityFrame
+randomFrame(Xoshiro256StarStar &rng, uint64_t cycle, double enable_p,
+            bool extreme_act)
+{
+    ActivityFrame f{};
+    f.cycle = cycle;
+    for (size_t u = 0; u < numUnits; ++u) {
+        if (extreme_act) {
+            static constexpr float kEdge[] = {0.0f,    1.0f, 0.999f,
+                                              0.9989f, 0.5f, 0.9991f};
+            f.activity[u] = kEdge[rng.nextBounded(std::size(kEdge))];
+        } else {
+            f.activity[u] = static_cast<float>(rng.nextDouble());
+        }
+        f.clockEnabled[u] = rng.nextDouble() < enable_p;
+        f.dataToggle[u] = static_cast<float>(rng.nextDouble());
+    }
+    return f;
+}
+
+} // namespace
+
+GaCase
+makeGaCase(uint64_t seed)
+{
+    Xoshiro256StarStar rng(hashMix(seed ^ 0x6a1));
+    GaCase c;
+    const uint64_t shape = hashMix(seed ^ 0x6a2) % 8;
+
+    size_t n = 20 + rng.nextBounded(140);
+    double enable_p = 0.85;
+    bool extreme_act = false;
+    bool contiguous = true;
+    c.stride = 1 + static_cast<uint32_t>(rng.nextBounded(4));
+    switch (shape) {
+      case 0: c.shape = "nominal"; break;
+      case 1:
+        c.shape = "sparse-enable";
+        enable_p = 0.15;
+        break;
+      case 2:
+        c.shape = "act-extremes";
+        extreme_act = true;
+        break;
+      case 3:
+        c.shape = "noncontiguous-cycles";
+        contiguous = false;
+        break;
+      case 4:
+        c.shape = "single-cycle";
+        n = 1;
+        break;
+      case 5: {
+        c.shape = "word-boundary";
+        static constexpr size_t kEdges[] = {63, 64, 65, 127, 128};
+        n = kEdges[rng.nextBounded(std::size(kEdges))];
+        break;
+      }
+      case 6: c.shape = "stride-large"; break; // stride set below
+      default:
+        c.shape = "long-run";
+        n = 256 + rng.nextBounded(300);
+    }
+
+    c.netlist = miniDesign(rng);
+    if (shape == 6)
+        c.stride = static_cast<uint32_t>(c.netlist.signalCount()) + 3;
+
+    uint64_t cycle = rng.nextBounded(1u << 20);
+    c.frames.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        c.frames.push_back(randomFrame(rng, cycle, enable_p,
+                                       extreme_act));
+        cycle += contiguous ? 1 : 1 + rng.nextBounded(5);
+    }
+    return c;
+}
+
+GaRunCase
+makeGaRunCase(uint64_t seed)
+{
+    Xoshiro256StarStar rng(hashMix(seed ^ 0x6a3));
+    GaRunCase c;
+    const uint64_t shape = hashMix(seed ^ 0x6a4) % 9;
+
+    c.netlist = miniDesign(rng);
+    c.coreParams = CoreParams::defaults();
+    c.coreParams.warmupCycles = 16 + rng.nextBounded(48);
+
+    GaConfig &ga = c.ga;
+    ga.populationSize = 5 + static_cast<uint32_t>(rng.nextBounded(4));
+    ga.generations = 2 + static_cast<uint32_t>(rng.nextBounded(2));
+    ga.elites = 1 + static_cast<uint32_t>(
+        rng.nextBounded(ga.populationSize / 2));
+    ga.bodyMinLen = 4;
+    ga.bodyMaxLen = 10;
+    ga.fitnessCycles = 40 + rng.nextBounded(50);
+    ga.fitnessSignalStride =
+        1 + static_cast<uint32_t>(rng.nextBounded(3));
+    ga.seed = rng();
+    ga.threads = 1 + static_cast<uint32_t>(rng.nextBounded(3));
+
+    switch (shape) {
+      case 0: c.shape = "nominal"; break;
+      case 1:
+        c.shape = "dup-heavy";
+        ga.mutationRate = 0.0;
+        ga.crossoverRate = 0.0;
+        ga.elites = ga.populationSize - 1;
+        ga.generations = 3;
+        break;
+      case 2:
+        c.shape = "min-pop";
+        ga.populationSize = 4;
+        ga.elites = 3;
+        ga.tournamentSize = 1;
+        break;
+      case 3:
+        c.shape = "uncached";
+        ga.cacheFitness = false;
+        break;
+      case 4:
+        c.shape = "no-capture";
+        ga.captureFrames = false;
+        break;
+      case 5:
+        c.shape = "scalar-fitness";
+        ga.vectorizedFitness = false;
+        break;
+      case 6:
+        c.shape = "stride-gt-m";
+        ga.fitnessSignalStride =
+            static_cast<uint32_t>(c.netlist.signalCount()) + 5;
+        break;
+      case 7: {
+        c.shape = "invalid-config";
+        c.expectError = true;
+        switch (rng.nextBounded(4)) {
+          case 0: ga.fitnessSignalStride = 0; break;
+          case 1: ga.populationSize = 0; break; // zero population
+          case 2: ga.elites = ga.populationSize; break;
+          default: ga.fitnessCycles = 0;
+        }
+        break;
+      }
+      default:
+        c.shape = "global-pool";
+        ga.threads = 0;
+    }
+    return c;
+}
+
 } // namespace apollo::harness

@@ -18,8 +18,11 @@
 #include <vector>
 
 #include "core/apollo_model.hh"
+#include "gen/ga_generator.hh"
 #include "ml/coordinate_descent.hh"
+#include "rtl/design_builder.hh"
 #include "trace/dataset.hh"
+#include "uarch/core.hh"
 #include "util/bitvec.hh"
 #include "util/rng.hh"
 
@@ -90,6 +93,43 @@ TargetQCase makeTargetQCase(uint64_t seed);
 
 /** Chunk-size schedule for streaming cases (varied, includes 1). */
 size_t streamChunkCycles(uint64_t seed);
+
+/**
+ * A generated toggle/fitness case: a miniature random design plus a
+ * synthetic frame segment (arbitrary activities/enables/data — more
+ * adversarial than core-produced frames) and a signal-sampling stride.
+ * Adversarial classes include gate-threshold activities (~0.999),
+ * mostly-disabled units, non-contiguous cycle numbers, single-cycle
+ * and word-boundary segment lengths, and stride > signal count.
+ */
+struct GaCase
+{
+    Netlist netlist;
+    std::vector<ActivityFrame> frames;
+    uint32_t stride = 1;
+    std::string shape;
+};
+
+GaCase makeGaCase(uint64_t seed);
+
+/**
+ * A generated GA-run case: a miniature design plus a full GaConfig
+ * (small budgets) and core parameters with a short warm-up. Shape
+ * classes cover duplicate-heavy populations (zero mutation/crossover,
+ * near-full elitism), the minimal population, disabled cache/capture/
+ * vectorization, multiple thread counts, stride > signal count, and
+ * invalid configurations (expectError set — validate() must reject).
+ */
+struct GaRunCase
+{
+    Netlist netlist;
+    CoreParams coreParams;
+    GaConfig ga;
+    bool expectError = false;
+    std::string shape;
+};
+
+GaRunCase makeGaRunCase(uint64_t seed);
 
 } // namespace apollo::harness
 

@@ -18,15 +18,18 @@
 #include <cstdio>
 #include <limits>
 
+#include "activity/toggle_columns.hh"
 #include "core/apollo_model.hh"
 #include "core/multi_cycle.hh"
 #include "flow/stream_engine.hh"
+#include "gen/fitness_eval.hh"
 #include "harness/case_gen.hh"
 #include "ml/coordinate_descent.hh"
 #include "ml/feature_view.hh"
 #include "ml/solver_path.hh"
 #include "opm/opm_simulator.hh"
 #include "opm/quantize.hh"
+#include "ref/reference_ga.hh"
 #include "ref/reference_kernels.hh"
 #include "ref/reference_solver.hh"
 #include "trace/stream_reader.hh"
@@ -499,6 +502,190 @@ runTargetQ(uint64_t seed)
     return std::nullopt;
 }
 
+// ---------------------------------------------------------------------
+// GA training-data generation paths (exact comparison).
+// ---------------------------------------------------------------------
+
+/** Exact double comparison; NaN anywhere is a failure. */
+std::optional<std::string>
+compareExactD(std::span<const double> prod, std::span<const double> want,
+              const std::string &shape)
+{
+    if (prod.size() != want.size())
+        return fmt("shape=%s: size mismatch prod=%zu ref=%zu",
+                   shape.c_str(), prod.size(), want.size());
+    for (size_t i = 0; i < prod.size(); ++i)
+        if (prod[i] != want[i] || std::isnan(prod[i]))
+            return fmt("shape=%s: element %zu: prod=%a ref=%a",
+                       shape.c_str(), i, prod[i], want[i]);
+    return std::nullopt;
+}
+
+std::optional<std::string>
+runToggleColumns(uint64_t seed)
+{
+    const GaCase c = makeGaCase(seed);
+    const ActivityEngine engine(c.netlist);
+    ToggleColumnGenerator gen(engine);
+    gen.bind(c.frames);
+    const size_t n = c.frames.size();
+    std::vector<uint64_t> col(gen.wordCount());
+    for (uint32_t sig = 0; sig < c.netlist.signalCount(); ++sig) {
+        gen.fillColumn(sig, col.data());
+        const std::vector<uint8_t> want =
+            ref::toggleColumn(engine, c.frames, sig);
+        for (size_t i = 0; i < n; ++i) {
+            const bool prod = (col[i >> 6] >> (i & 63)) & 1;
+            if (prod != static_cast<bool>(want[i]))
+                return fmt("shape=%s: sig=%u kind=%d cycle=%zu "
+                           "prod=%d ref=%d",
+                           c.shape.c_str(), sig,
+                           static_cast<int>(c.netlist.signal(sig).kind),
+                           i, prod, static_cast<int>(want[i]));
+        }
+        if (n & 63) {
+            const uint64_t tail = col[n >> 6] >> (n & 63);
+            if (tail != 0)
+                return fmt("shape=%s: sig=%u tail bits set", c.shape.c_str(),
+                           sig);
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+runFitnessPower(uint64_t seed)
+{
+    const GaCase c = makeGaCase(seed);
+    const ActivityEngine engine(c.netlist);
+    const PowerOracle oracle(c.netlist, PowerParams{});
+    const std::vector<double> want = ref::fitnessCyclePowers(
+        c.netlist, engine, oracle, c.frames, c.stride);
+    const double want_avg = ref::fitnessAveragePower(
+        c.netlist, engine, oracle, c.frames, c.stride);
+
+    for (const bool vectorized : {true, false}) {
+        FitnessOptions options;
+        options.signalStride = c.stride;
+        options.vectorized = vectorized;
+        FitnessEvaluator eval(c.netlist, engine, oracle, options);
+        std::vector<double> prod;
+        eval.cyclePowers(c.frames, prod);
+        const std::string shape =
+            c.shape + (vectorized ? "+vec" : "+scalar") +
+            fmt("+stride=%u", c.stride);
+        if (auto d = compareExactD(prod, want, shape))
+            return d;
+        const double avg = eval.averagePower(c.frames);
+        if (avg != want_avg || std::isnan(avg))
+            return fmt("shape=%s: average prod=%a ref=%a",
+                       shape.c_str(), avg, want_avg);
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+runGaPipeline(uint64_t seed)
+{
+    const GaRunCase c = makeGaRunCase(seed);
+    if (c.expectError) {
+        const Status st = c.ga.validate();
+        if (st.ok())
+            return fmt("shape=%s: expected InvalidArgument, got OK",
+                       c.shape.c_str());
+        if (st.code() != StatusCode::InvalidArgument)
+            return fmt("shape=%s: expected InvalidArgument, got %s",
+                       c.shape.c_str(), st.toString().c_str());
+        return std::nullopt;
+    }
+
+    DatasetBuilder builder(c.netlist, c.coreParams);
+    GaGenerator ga(builder, c.ga);
+    ga.run();
+    const std::vector<GaIndividual> &all = ga.all();
+    const GaRunStats &stats = ga.stats();
+    const std::string &shape = c.shape;
+
+    if (all.size() !=
+        static_cast<size_t>(c.ga.populationSize) * c.ga.generations)
+        return fmt("shape=%s: %zu individuals, expected %u*%u",
+                   shape.c_str(), all.size(), c.ga.populationSize,
+                   c.ga.generations);
+    if (stats.evaluations != stats.cacheMisses)
+        return fmt("shape=%s: evaluations=%llu != misses=%llu",
+                   shape.c_str(),
+                   static_cast<unsigned long long>(stats.evaluations),
+                   static_cast<unsigned long long>(stats.cacheMisses));
+    if (stats.cacheHits + stats.cacheMisses != all.size())
+        return fmt("shape=%s: hits+misses=%llu != individuals=%zu",
+                   shape.c_str(),
+                   static_cast<unsigned long long>(stats.cacheHits +
+                                                   stats.cacheMisses),
+                   all.size());
+
+    // Certify recorded fitness values — cached or not — against an
+    // independent serial re-simulation and the src/ref fitness oracle;
+    // captured frames must equal the re-simulated ones exactly.
+    const size_t step = std::max<size_t>(1, all.size() / 10);
+    for (size_t k = 0; k < all.size(); k += step) {
+        const GaIndividual &ind = all[k];
+        if (ind.id != k)
+            return fmt("shape=%s: all()[%zu].id == %zu", shape.c_str(),
+                       k, ind.id);
+        const Program prog = GaGenerator::toProgram(
+            ind, "ga",
+            GaGenerator::fitnessIterations(ind.body.size(),
+                                           c.ga.fitnessCycles));
+        TimingCore core(builder.coreParams());
+        std::vector<ActivityFrame> frames;
+        core.run(prog, c.ga.fitnessCycles,
+                 [&](const ActivityFrame &f) { frames.push_back(f); });
+        const double want = ref::fitnessAveragePower(
+            c.netlist, builder.engine(), builder.oracle(), frames,
+            c.ga.fitnessSignalStride);
+        if (ind.avgPower != want || std::isnan(ind.avgPower))
+            return fmt("shape=%s: individual %zu (gen %u): fitness "
+                       "prod=%a ref=%a",
+                       shape.c_str(), k, ind.generation, ind.avgPower,
+                       want);
+
+        const std::span<const ActivityFrame> captured =
+            ga.capturedFrames(ind.id);
+        if (!c.ga.captureFrames) {
+            if (!captured.empty())
+                return fmt("shape=%s: frames captured with capture off",
+                           shape.c_str());
+        } else {
+            if (captured.size() != frames.size())
+                return fmt("shape=%s: individual %zu: captured %zu "
+                           "frames, re-sim %zu",
+                           shape.c_str(), k, captured.size(),
+                           frames.size());
+            for (size_t i = 0; i < frames.size(); ++i) {
+                const ActivityFrame &a = captured[i];
+                const ActivityFrame &b = frames[i];
+                if (a.cycle != b.cycle ||
+                    a.activity != b.activity ||
+                    a.clockEnabled != b.clockEnabled ||
+                    a.dataToggle != b.dataToggle)
+                    return fmt("shape=%s: individual %zu: captured "
+                               "frame %zu differs from re-sim",
+                               shape.c_str(), k, i);
+            }
+        }
+    }
+
+    // Selection edge shapes: zero-count and over-count draws.
+    if (!ga.selectTrainingSet(0).empty())
+        return fmt("shape=%s: selectTrainingSet(0) not empty",
+                   shape.c_str());
+    const auto over = ga.selectTrainingSet(all.size() + 7);
+    if (over.size() != all.size())
+        return fmt("shape=%s: over-count selection %zu != %zu",
+                   shape.c_str(), over.size(), all.size());
+    return std::nullopt;
+}
+
 } // namespace
 
 const std::vector<OracleEntry> &
@@ -517,6 +704,9 @@ oracleRegistry()
         {"solver.cd_counts", runCdCounts},
         {"solver.cd_dense", runCdDense},
         {"solver.target_q", runTargetQ},
+        {"gen.toggle_columns", runToggleColumns},
+        {"gen.fitness_power", runFitnessPower},
+        {"gen.ga_pipeline", runGaPipeline},
     };
     return registry;
 }

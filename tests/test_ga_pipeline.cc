@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Regression tests for the parallel, cached, single-pass GA
+ * training-data pipeline (docs/INTERNALS.md §9): configuration
+ * validation, the batch hash-kernel contract, thread-count and
+ * flag invariance of the GA trajectory, deterministic cache counters,
+ * and byte-identity of the single-pass dataset export against full
+ * re-simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "flow/flows.hh"
+#include "gen/ga_generator.hh"
+#include "rtl/design_builder.hh"
+#include "trace/dataset_io.hh"
+#include "trace/toggle_trace.hh"
+#include "util/hash_kernels.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace apollo {
+namespace {
+
+/** A small design + short warm-up shared by the pipeline tests. */
+DesignConfig
+pipelineDesign()
+{
+    DesignConfig cfg;
+    cfg.name = "ga-pipeline";
+    cfg.seed = 0x5151;
+    cfg.ffPerClockGate = 16;
+    cfg.units = {
+        {UnitId::Fetch, 60, 1, 8, 1.0f},
+        {UnitId::IntAlu, 80, 0, 8, 1.2f},
+        {UnitId::VecExec, 70, 2, 8, 1.5f},
+        {UnitId::LoadStore, 60, 1, 8, 1.0f},
+    };
+    return cfg;
+}
+
+CoreParams
+fastCore()
+{
+    CoreParams params = CoreParams::defaults();
+    params.warmupCycles = 32;
+    return params;
+}
+
+GaConfig
+pipelineConfig()
+{
+    GaConfig cfg;
+    cfg.populationSize = 8;
+    cfg.generations = 3;
+    cfg.elites = 2;
+    cfg.bodyMinLen = 4;
+    cfg.bodyMaxLen = 12;
+    cfg.fitnessCycles = 80;
+    cfg.fitnessSignalStride = 2;
+    cfg.seed = 0x77;
+    return cfg;
+}
+
+/** Full observable GA trajectory for bitwise comparison. */
+struct Trajectory
+{
+    std::vector<double> fitness;
+    std::vector<uint64_t> dataSeeds;
+    std::vector<size_t> bodyLens;
+    std::vector<size_t> selectedIds;
+
+    static Trajectory
+    of(const GaGenerator &ga)
+    {
+        Trajectory t;
+        for (const GaIndividual &ind : ga.all()) {
+            t.fitness.push_back(ind.avgPower);
+            t.dataSeeds.push_back(ind.dataSeed);
+            t.bodyLens.push_back(ind.body.size());
+        }
+        for (const GaIndividual &ind : ga.selectTrainingSet(10))
+            t.selectedIds.push_back(ind.id);
+        return t;
+    }
+
+    bool
+    operator==(const Trajectory &o) const
+    {
+        return fitness == o.fitness && dataSeeds == o.dataSeeds &&
+               bodyLens == o.bodyLens && selectedIds == o.selectedIds;
+    }
+};
+
+TEST(GaConfigValidate, RejectsStrideZero)
+{
+    GaConfig cfg;
+    cfg.fitnessSignalStride = 0;
+    const Status st = cfg.validate();
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::InvalidArgument);
+}
+
+TEST(GaConfigValidate, RejectsDegenerateShapes)
+{
+    EXPECT_TRUE(GaConfig{}.validate().ok());
+
+    GaConfig pop;
+    pop.populationSize = 0;
+    EXPECT_EQ(pop.validate().code(), StatusCode::InvalidArgument);
+
+    GaConfig elites;
+    elites.elites = elites.populationSize;
+    EXPECT_EQ(elites.validate().code(), StatusCode::InvalidArgument);
+
+    GaConfig cycles;
+    cycles.fitnessCycles = 0;
+    EXPECT_EQ(cycles.validate().code(), StatusCode::InvalidArgument);
+
+    GaConfig body;
+    body.bodyMinLen = 10;
+    body.bodyMaxLen = 6;
+    EXPECT_EQ(body.validate().code(), StatusCode::InvalidArgument);
+}
+
+TEST(GaConfigValidate, ConstructorEnforcesValidation)
+{
+    const Netlist netlist = DesignBuilder::build(pipelineDesign());
+    DatasetBuilder builder(netlist, fastCore());
+    GaConfig cfg = pipelineConfig();
+    cfg.fitnessSignalStride = 0;
+    EXPECT_THROW(GaGenerator(builder, cfg), FatalError);
+}
+
+TEST(HashKernels, BatchDrawsMatchScalarFormula)
+{
+    // The dispatched batch kernel is contractually bit-identical to
+    // hashToUnitFloat(hashCombine(seed, cycle)) — on every dispatch
+    // path, including AVX-512 when the host enables it.
+    std::vector<float> out(200);
+    for (const uint64_t seed : {0ULL, 0x6a6aULL, ~0ULL, 0x12345ULL}) {
+        for (const size_t n : {size_t{0}, size_t{1}, size_t{7},
+                               size_t{8}, size_t{9}, size_t{63},
+                               size_t{64}, size_t{65}, size_t{130}}) {
+            const uint64_t cycle0 = seed * 977 + 5;
+            hashkernels::unitDraws(seed, cycle0, n, out.data());
+            for (size_t i = 0; i < n; ++i)
+                ASSERT_EQ(out[i],
+                          hashToUnitFloat(hashCombine(seed, cycle0 + i)))
+                    << "seed=" << seed << " n=" << n << " i=" << i;
+        }
+    }
+
+    // Gather variant over arbitrary (non-contiguous) cycle numbers.
+    std::vector<uint64_t> cycles;
+    Xoshiro256StarStar rng(42);
+    for (size_t i = 0; i < 150; ++i)
+        cycles.push_back(rng());
+    hashkernels::unitDrawsAt(0xfeedULL, cycles.data(), cycles.size(),
+                             out.data());
+    for (size_t i = 0; i < cycles.size(); ++i)
+        ASSERT_EQ(out[i],
+                  hashToUnitFloat(hashCombine(0xfeedULL, cycles[i])));
+}
+
+TEST(GaPipeline, TrajectoryInvariantAcrossThreadCounts)
+{
+    const Netlist netlist = DesignBuilder::build(pipelineDesign());
+    DatasetBuilder builder(netlist, fastCore());
+
+    std::vector<Trajectory> runs;
+    for (const uint32_t threads : {1u, 2u, 4u, 0u}) {
+        GaConfig cfg = pipelineConfig();
+        cfg.threads = threads;
+        GaGenerator ga(builder, cfg);
+        ga.run();
+        runs.push_back(Trajectory::of(ga));
+    }
+    for (size_t i = 1; i < runs.size(); ++i)
+        EXPECT_TRUE(runs[0] == runs[i]) << "thread variant " << i;
+
+    // Repeated run on the same generator: identical again.
+    GaConfig cfg = pipelineConfig();
+    cfg.threads = 2;
+    GaGenerator ga(builder, cfg);
+    ga.run();
+    const Trajectory first = Trajectory::of(ga);
+    ga.run();
+    EXPECT_TRUE(first == Trajectory::of(ga)) << "re-run drifted";
+    EXPECT_TRUE(first == runs[0]);
+}
+
+TEST(GaPipeline, CacheAndVectorizationPreserveTrajectory)
+{
+    const Netlist netlist = DesignBuilder::build(pipelineDesign());
+    DatasetBuilder builder(netlist, fastCore());
+
+    GaConfig fast = pipelineConfig();
+    fast.threads = 2;
+    GaGenerator ga_fast(builder, fast);
+    ga_fast.run();
+
+    GaConfig naive = pipelineConfig();
+    naive.threads = 1;
+    naive.cacheFitness = false;
+    naive.captureFrames = false;
+    naive.vectorizedFitness = false;
+    GaGenerator ga_naive(builder, naive);
+    ga_naive.run();
+
+    EXPECT_TRUE(Trajectory::of(ga_fast) == Trajectory::of(ga_naive))
+        << "cached/vectorized/parallel trajectory diverged from the "
+           "serial uncached scalar one";
+    EXPECT_EQ(ga_naive.stats().cacheHits, 0u);
+    EXPECT_GT(ga_fast.stats().cacheHits, 0u);
+    EXPECT_LT(ga_fast.stats().evaluations,
+              ga_naive.stats().evaluations);
+}
+
+TEST(GaPipeline, CacheCountersAreDeterministicAndEliteDriven)
+{
+    const Netlist netlist = DesignBuilder::build(pipelineDesign());
+    DatasetBuilder builder(netlist, fastCore());
+    const GaConfig cfg = pipelineConfig();
+
+    GaGenerator ga(builder, cfg);
+    ga.run();
+    const GaRunStats first = ga.stats();
+
+    // Elites repeat verbatim in the next generation: at least
+    // elites * (generations - 1) hits.
+    EXPECT_GE(first.cacheHits,
+              static_cast<uint64_t>(cfg.elites) *
+                  (cfg.generations - 1));
+    EXPECT_EQ(first.evaluations, first.cacheMisses);
+    EXPECT_EQ(first.cacheHits + first.cacheMisses,
+              static_cast<uint64_t>(cfg.populationSize) *
+                  cfg.generations);
+    EXPECT_GT(first.simulatedCycles, 0u);
+    EXPECT_GT(first.hitRate(), 0.0);
+
+    GaConfig threaded = cfg;
+    threaded.threads = 3;
+    GaGenerator ga2(builder, threaded);
+    ga2.run();
+    EXPECT_EQ(first.cacheHits, ga2.stats().cacheHits);
+    EXPECT_EQ(first.cacheMisses, ga2.stats().cacheMisses);
+    EXPECT_EQ(first.simulatedCycles, ga2.stats().simulatedCycles);
+}
+
+TEST(DatasetBuilderAddFrames, AppendsNamedSegments)
+{
+    const Netlist netlist = DesignBuilder::build(pipelineDesign());
+    DatasetBuilder builder(netlist, fastCore());
+
+    std::vector<ActivityFrame> frames(5);
+    for (size_t i = 0; i < frames.size(); ++i)
+        frames[i].cycle = 100 + i;
+    builder.addFrames("a", frames);
+    builder.addFrames("b", std::span<const ActivityFrame>(frames)
+                               .subspan(0, 3));
+
+    ASSERT_EQ(builder.segments().size(), 2u);
+    EXPECT_EQ(builder.segments()[0].name, "a");
+    EXPECT_EQ(builder.segments()[0].begin, 0u);
+    EXPECT_EQ(builder.segments()[0].end, 5u);
+    EXPECT_EQ(builder.segments()[1].name, "b");
+    EXPECT_EQ(builder.segments()[1].begin, 5u);
+    EXPECT_EQ(builder.segments()[1].end, 8u);
+    EXPECT_EQ(builder.frames().size(), 8u);
+    EXPECT_THROW(
+        builder.addFrames("empty", std::span<const ActivityFrame>{}),
+        FatalError);
+}
+
+TEST(GenerateTrainingSet, SinglePassExportMatchesResimulation)
+{
+    const Netlist netlist = DesignBuilder::build(pipelineDesign());
+
+    TrainingGenOptions options;
+    options.ga = pipelineConfig();
+    options.ga.fitnessCycles = 120;
+    options.benchmarks = 12;
+    options.cyclesEach = 100;
+
+    auto single_pass =
+        generateTrainingSet(netlist, options, fastCore());
+    ASSERT_TRUE(single_pass.ok()) << single_pass.status().toString();
+    EXPECT_EQ(single_pass->exportSimulatedCycles, 0u)
+        << "every selected individual should be served from the "
+           "fitness capture";
+
+    TrainingGenOptions resim = options;
+    resim.reuseCapturedFrames = false;
+    auto two_pass = generateTrainingSet(netlist, resim, fastCore());
+    ASSERT_TRUE(two_pass.ok()) << two_pass.status().toString();
+    EXPECT_GT(two_pass->exportSimulatedCycles, 0u);
+
+    std::ostringstream a, b;
+    saveDataset(a, single_pass->dataset);
+    saveDataset(b, two_pass->dataset);
+    EXPECT_EQ(a.str(), b.str())
+        << "single-pass dataset differs from re-simulated export";
+
+    EXPECT_GT(single_pass->powerRangeRatio, 1.0);
+    EXPECT_GT(single_pass->bestPower, 0.0);
+    EXPECT_EQ(single_pass->gaStats.evaluations,
+              single_pass->gaStats.cacheMisses);
+}
+
+TEST(GenerateTrainingSet, PropagatesInvalidConfig)
+{
+    const Netlist netlist = DesignBuilder::build(pipelineDesign());
+    TrainingGenOptions options;
+    options.ga.fitnessSignalStride = 0;
+    const auto result = generateTrainingSet(netlist, options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::InvalidArgument);
+
+    TrainingGenOptions none;
+    none.benchmarks = 0;
+    EXPECT_EQ(generateTrainingSet(netlist, none).status().code(),
+              StatusCode::InvalidArgument);
+}
+
+} // namespace
+} // namespace apollo

@@ -36,14 +36,14 @@ struct PipelineData
         DatasetBuilder fitness(netlist);
         GaConfig ga_cfg;
         ga_cfg.populationSize = 14;
-        ga_cfg.generations = 5;
+        ga_cfg.generations = 6;
         ga_cfg.fitnessCycles = 250;
         GaGenerator ga(fitness, ga_cfg);
         ga.run();
 
         DatasetBuilder tb(netlist);
         int idx = 0;
-        for (const GaIndividual &ind : ga.selectTrainingSet(28)) {
+        for (const GaIndividual &ind : ga.selectTrainingSet(32)) {
             tb.addProgram(GaGenerator::toProgram(
                               ind, "ga" + std::to_string(idx++), 4000),
                           300);

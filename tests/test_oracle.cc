@@ -32,6 +32,8 @@ TEST(OracleRegistry, CoversEveryProductionPath)
         "opm.simulate",          "opm.stream_quantized",
         "solver.cd_bits",        "solver.cd_counts",
         "solver.cd_dense",       "solver.target_q",
+        "gen.toggle_columns",    "gen.fitness_power",
+        "gen.ga_pipeline",
     };
     std::vector<std::string> actual;
     for (const OracleEntry &e : oracleRegistry())

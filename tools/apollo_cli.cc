@@ -96,25 +96,32 @@ cmdGenData(const Args &args)
     DatasetBuilder builder(netlist);
     if (args.getBool("ga")) {
         std::fprintf(stderr, "running the GA generator...\n");
-        DatasetBuilder fitness(netlist);
-        GaConfig ga_cfg;
-        ga_cfg.populationSize =
+        TrainingGenOptions opts;
+        opts.ga.populationSize =
             static_cast<uint32_t>(args.getInt("population", 24));
-        ga_cfg.generations =
+        opts.ga.generations =
             static_cast<uint32_t>(args.getInt("generations", 8));
-        ga_cfg.fitnessSignalStride = 4;
-        GaGenerator ga(fitness, ga_cfg);
-        ga.run();
-        std::fprintf(stderr, "GA power range ratio: %.2fx\n",
-                     ga.powerRangeRatio());
-        int idx = 0;
-        for (const GaIndividual &ind :
-             ga.selectTrainingSet(n_benchmarks))
-            builder.addProgram(GaGenerator::toProgram(
-                                   ind,
-                                   "ga" + std::to_string(idx++), 8000),
-                               cycles);
-    } else {
+        opts.ga.fitnessSignalStride = 4;
+        opts.benchmarks = n_benchmarks;
+        opts.cyclesEach = cycles;
+        StatusOr<TrainingGenReport> report =
+            generateTrainingSet(netlist, opts);
+        if (!report.ok())
+            fatal(report.status().toString());
+        std::fprintf(stderr,
+                     "GA power range ratio: %.2fx (cache hit rate "
+                     "%.1f%%)\n",
+                     report->powerRangeRatio,
+                     100.0 * report->gaStats.hitRate());
+        const Dataset ds = report->dataset;
+        saveDatasetFile(out, ds);
+        std::printf("wrote %s: %zu cycles x %zu signals (%zu "
+                    "benchmarks, mean power %.4f)\n",
+                    out.c_str(), ds.cycles(), ds.signals(),
+                    ds.segments.size(), ds.meanLabel());
+        return 0;
+    }
+    {
         Xoshiro256StarStar rng(
             static_cast<uint64_t>(args.getInt("seed", 42)));
         for (size_t i = 0; i < n_benchmarks; ++i) {

@@ -2,6 +2,7 @@
 # Regenerate the perf trajectories at the repo root:
 #   BENCH_solver.json  — MCP solver fast-path layers
 #   BENCH_stream.json  — streaming pipeline vs batch (throughput + RSS)
+#   BENCH_ga.json      — GA training-data pipeline layers
 # Usage: tools/run_benches.sh [--smoke] [extra bench args...]
 #
 # Environment:
@@ -19,10 +20,13 @@ fi
 
 cmake -B "$BUILD_DIR" -S . "${cmake_flags[@]}"
 cmake --build "$BUILD_DIR" -j --target bench_perf_solver \
-    --target bench_stream_infer
+    --target bench_stream_infer --target bench_perf_ga
 
 "$BUILD_DIR"/bench/bench_perf_solver --out=BENCH_solver.json "$@"
 echo "BENCH_solver.json updated"
 
 "$BUILD_DIR"/bench/bench_stream_infer --out=BENCH_stream.json "$@"
 echo "BENCH_stream.json updated"
+
+"$BUILD_DIR"/bench/bench_perf_ga --out=BENCH_ga.json "$@"
+echo "BENCH_ga.json updated"
