@@ -26,14 +26,15 @@ main()
     cfg.selection.targetQ = 70;
 
     const auto labels =
-        windowAverageLabels(ctx.test.y, T, ctx.test.segments);
+        windowAverageLabels(ctx.test.y, T, ctx.test.segments).value();
 
     TablePrinter table({"tau", "training rows", "NRMSE @ T=64", "R2"});
     for (uint32_t tau : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
         const MultiCycleModel model =
             trainMultiCycle(ctx.train, tau, cfg, ctx.netlist.name());
         const auto pred =
-            model.predictWindowsFull(ctx.test.X, T, ctx.test.segments);
+            model.predictWindowsFull(ctx.test.X, T, ctx.test.segments)
+                .value();
         const size_t rows =
             tau == 1 ? ctx.train.cycles()
                      : aggregateIntervals(ctx.train, tau).intervals();

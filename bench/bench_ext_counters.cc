@@ -74,9 +74,10 @@ main()
         mc.base = apollo;
         mc.tau = 1;
         const auto apollo_pred =
-            mc.predictWindowsFull(test.X, window, test.segments);
+            mc.predictWindowsFull(test.X, window, test.segments)
+                .value();
         const auto labels =
-            windowAverageLabels(test.y, window, test.segments);
+            windowAverageLabels(test.y, window, test.segments).value();
         const double apollo_nrmse = nrmse(labels, apollo_pred);
 
         table.addRow({TablePrinter::integer(window),

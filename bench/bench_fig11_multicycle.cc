@@ -52,11 +52,13 @@ main()
                         "Simmani (Q=200)"});
     for (uint32_t T : windows) {
         const auto labels =
-            windowAverageLabels(ctx.test.y, T, ctx.test.segments);
+            windowAverageLabels(ctx.test.y, T, ctx.test.segments)
+                .value();
 
         auto nrmse_of = [&](const MultiCycleModel &m) {
             const auto pred =
-                m.predictWindowsFull(ctx.test.X, T, ctx.test.segments);
+                m.predictWindowsFull(ctx.test.X, T, ctx.test.segments)
+                    .value();
             return nrmse(labels, pred);
         };
         const double e_tau1 = nrmse_of(tau_models.at(1));
@@ -94,9 +96,12 @@ main()
             if (T < tau)
                 continue;
             const auto labels =
-                windowAverageLabels(ctx.test.y, T, ctx.test.segments);
-            const auto pred = tau_models.at(tau).predictWindowsFull(
-                ctx.test.X, T, ctx.test.segments);
+                windowAverageLabels(ctx.test.y, T, ctx.test.segments)
+                    .value();
+            const auto pred = tau_models.at(tau)
+                                  .predictWindowsFull(ctx.test.X, T,
+                                                      ctx.test.segments)
+                                  .value();
             acc += nrmse(labels, pred);
             counted++;
         }

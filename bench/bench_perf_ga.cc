@@ -171,7 +171,7 @@ void
 writeJson(const std::string &path, const char *mode,
           const GaConfig &cfg, const TrainExportBudget &budget,
           const std::vector<LayerResult> &runs, double speedup,
-          bool production_match)
+          bool production_match, const std::string &obs_json)
 {
     std::ofstream os(path);
     os << "{\n";
@@ -203,6 +203,7 @@ writeJson(const std::string &path, const char *mode,
            << (i + 1 < runs.size() ? "," : "") << "\n";
     }
     os << "  ],\n";
+    os << "  \"obs\": " << obs_json << ",\n";
     os << "  \"dataset_matches_production_pipeline\": "
        << (production_match ? "true" : "false") << ",\n";
     os << "  \"speedup_ga_best_vs_baseline\": " << speedup << ",\n";
@@ -252,6 +253,7 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(budget.cyclesEach),
                 reps, smoke ? " [smoke]" : "");
 
+    const auto obs_before = obsCounters();
     const LayerConfig layers[] = {
         {"baseline", false, false, false, 1},
         {"vectorized", true, false, false, 1},
@@ -313,7 +315,7 @@ main(int argc, char **argv)
                 runs.front().totalSeconds() /
                     runs.back().totalSeconds());
     writeJson(out, smoke ? "smoke" : "full", base, budget, runs,
-              speedup, production_match);
+              speedup, production_match, obsDeltaJson(obs_before));
     std::printf("wrote %s\n", out.c_str());
 
     bool identical = production_match;

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "apollo.hh"
+#include "common.hh"
 
 using namespace apollo;
 
@@ -157,7 +158,8 @@ runConfig(const LayerConfig &layer, const BitColumnMatrix &X,
 
 void
 writeJson(const std::string &path, const char *mode, size_t n, size_t m,
-          size_t q, const std::vector<RunStats> &runs, double speedup)
+          size_t q, const std::vector<RunStats> &runs, double speedup,
+          const std::string &obs_json)
 {
     std::ofstream os(path);
     os << "{\n";
@@ -180,6 +182,7 @@ writeJson(const std::string &path, const char *mode, size_t n, size_t m,
            << (i + 1 < runs.size() ? "," : "") << "\n";
     }
     os << "  ],\n";
+    os << "  \"obs\": " << obs_json << ",\n";
     os << "  \"speedup_all_vs_baseline\": " << speedup << "\n";
     os << "}\n";
 }
@@ -212,6 +215,7 @@ main(int argc, char **argv)
                 q, reps, smoke ? " [smoke]" : "");
     const BitColumnMatrix X = makeToggleMatrix(n, m, 0xa9011c);
     const std::vector<float> y = makeLabels(X, m / 80 + 8, 0x5eed);
+    const auto obs_before = bench::obsCounters();
 
     const LayerConfig layers[] = {
         {"baseline", false, false, false},
@@ -237,7 +241,8 @@ main(int argc, char **argv)
 
     const double speedup = runs.front().seconds / runs.back().seconds;
     std::printf("speedup (all vs baseline): %.2fx\n", speedup);
-    writeJson(out, smoke ? "smoke" : "full", n, m, q, runs, speedup);
+    writeJson(out, smoke ? "smoke" : "full", n, m, q, runs, speedup,
+              bench::obsDeltaJson(obs_before));
     std::printf("wrote %s\n", out.c_str());
 
     bool ok = true;

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "apollo.hh"
+#include "common.hh"
 
 using namespace apollo;
 
@@ -207,6 +208,7 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(n), q, T, reps,
                 smoke ? " [smoke]" : "");
 
+    const auto obs_before = bench::obsCounters();
     const ApolloModel model = makeModel(q, seed);
     const QuantizedModel qm = quantizeModel(model, 10);
     const StreamingInference fengine(model);
@@ -342,7 +344,8 @@ main(int argc, char **argv)
        << n_d / fstream.seconds / 1e6 << ",\n";
     os << "    \"speedup_stream_vs_batch\": " << f_speedup << ",\n";
     os << "    \"bit_identical\": " << (f_identical ? "true" : "false")
-       << "\n  }\n";
+       << "\n  },\n";
+    os << "  \"obs\": " << bench::obsDeltaJson(obs_before) << "\n";
     os << "}\n";
     std::printf("wrote %s\n", out.c_str());
 

@@ -4,6 +4,9 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hh"
 
 
 namespace apollo::bench {
@@ -177,6 +180,32 @@ trainApolloAtQ(const Context &ctx, size_t q)
     ApolloTrainConfig cfg;
     cfg.selection.targetQ = q;
     return trainApollo(ctx.train, cfg, ctx.netlist.name());
+}
+
+std::map<std::string, uint64_t>
+obsCounters()
+{
+    return obs::MetricRegistry::instance().counterValues();
+}
+
+std::string
+obsDeltaJson(const std::map<std::string, uint64_t> &before)
+{
+    const std::map<std::string, uint64_t> now = obsCounters();
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    for (const auto &[name, value] : now) {
+        const auto it = before.find(name);
+        const uint64_t prev = it == before.end() ? 0 : it->second;
+        if (value == prev)
+            continue;
+        os << (first ? "" : ", ") << "\"" << name
+           << "\": " << (value - prev);
+        first = false;
+    }
+    os << "}";
+    return os.str();
 }
 
 } // namespace apollo::bench

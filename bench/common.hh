@@ -13,6 +13,7 @@
 #ifndef APOLLO_BENCH_COMMON_HH
 #define APOLLO_BENCH_COMMON_HH
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,20 @@ void printHeader(const std::string &experiment_id,
 
 /** Train APOLLO at the given Q with the paper's settings. */
 ApolloTrainResult trainApolloAtQ(const Context &ctx, size_t q);
+
+/**
+ * Current obs counter values (empty when the build has APOLLO_OBS=0 or
+ * the registry is runtime-disabled). Snapshot one at the start of the
+ * measured region and pass it to obsDeltaJson() when writing results.
+ */
+std::map<std::string, uint64_t> obsCounters();
+
+/**
+ * Render counter deltas since @p before as one JSON object on a single
+ * line, e.g. `{"apollo.solver.fits": 12}` — the "obs" section of the
+ * BENCH_*.json files. Unchanged counters are omitted.
+ */
+std::string obsDeltaJson(const std::map<std::string, uint64_t> &before);
 
 } // namespace apollo::bench
 

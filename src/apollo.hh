@@ -294,8 +294,11 @@ class Inference
                        "quantized engine windows via predict()");
         const MultiCycleModel mc{model_, 1};
         const SegmentInfo whole{"", 0, Xq.rows()};
+        // Data errors (no full window) stay fatal at this facade, as
+        // before the StatusOr conversion of predictWindowsProxies.
         return mc.predictWindowsProxies(
-            Xq, T, std::span<const SegmentInfo>(&whole, 1));
+                     Xq, T, std::span<const SegmentInfo>(&whole, 1))
+            .value();
     }
 
     /**

@@ -6,16 +6,38 @@ namespace apollo {
 
 namespace {
 
+/** Segment sanity shared by inference and labels: monotone bounds that
+ *  stay inside the @p rows cycles actually available. */
+Status
+checkSegments(std::span<const SegmentInfo> segments, size_t rows)
+{
+    for (const SegmentInfo &seg : segments) {
+        if (seg.end < seg.begin)
+            return Status::invalidArgument("segment '", seg.name,
+                                           "' has end ", seg.end,
+                                           " before begin ", seg.begin);
+        if (seg.end > rows)
+            return Status::outOfRange("segment '", seg.name, "' [",
+                                      seg.begin, ", ", seg.end,
+                                      ") exceeds the ", rows,
+                                      " cycles available");
+    }
+    return Status::okStatus();
+}
+
 /**
  * Shared Eq. (9) kernel: per-cycle linear sums, averaged per T-window.
  * @p column_of maps model proxy index q to the matrix column to read.
  */
-std::vector<float>
+StatusOr<std::vector<float>>
 predictWindowsImpl(const ApolloModel &model, const BitColumnMatrix &X,
                    uint32_t T, std::span<const SegmentInfo> segments,
                    bool proxy_layout)
 {
-    APOLLO_REQUIRE(T >= 1, "window size must be positive");
+    if (T < 1)
+        return Status::invalidArgument("window size must be positive");
+    if (Status st = checkSegments(segments, X.rows()); !st.ok())
+        return st;
     // Per-cycle weighted sums (binary AND-accumulate).
     std::vector<float> per_cycle(X.rows(), 0.0f);
     for (size_t q = 0; q < model.proxyIds.size(); ++q) {
@@ -36,13 +58,16 @@ predictWindowsImpl(const ApolloModel &model, const BitColumnMatrix &X,
                 model.intercept + acc / static_cast<double>(T)));
         }
     }
-    APOLLO_REQUIRE(!out.empty(), "no full windows at this T");
+    if (out.empty())
+        return Status::invalidArgument(
+            "no full windows at T=", T,
+            " (every segment is shorter than the window)");
     return out;
 }
 
 } // namespace
 
-std::vector<float>
+StatusOr<std::vector<float>>
 MultiCycleModel::predictWindowsFull(
     const BitColumnMatrix &X, uint32_t T,
     std::span<const SegmentInfo> segments) const
@@ -50,7 +75,7 @@ MultiCycleModel::predictWindowsFull(
     return predictWindowsImpl(base, X, T, segments, false);
 }
 
-std::vector<float>
+StatusOr<std::vector<float>>
 MultiCycleModel::predictWindowsProxies(
     const BitColumnMatrix &Xq, uint32_t T,
     std::span<const SegmentInfo> segments) const
@@ -75,10 +100,14 @@ trainMultiCycle(const Dataset &train, uint32_t tau,
     return model;
 }
 
-std::vector<float>
+StatusOr<std::vector<float>>
 windowAverageLabels(std::span<const float> y, uint32_t T,
                     std::span<const SegmentInfo> segments)
 {
+    if (T < 1)
+        return Status::invalidArgument("window size must be positive");
+    if (Status st = checkSegments(segments, y.size()); !st.ok())
+        return st;
     std::vector<float> out;
     for (const SegmentInfo &seg : segments) {
         const size_t windows = seg.cycles() / T;
@@ -90,6 +119,10 @@ windowAverageLabels(std::span<const float> y, uint32_t T,
                 static_cast<float>(acc / static_cast<double>(T)));
         }
     }
+    if (out.empty())
+        return Status::invalidArgument(
+            "no full windows at T=", T,
+            " (every segment is shorter than the window)");
     return out;
 }
 

@@ -22,6 +22,7 @@
 #include "core/apollo_model.hh"
 #include "core/apollo_trainer.hh"
 #include "trace/dataset.hh"
+#include "util/status.hh"
 
 namespace apollo {
 
@@ -35,13 +36,17 @@ struct MultiCycleModel
      * Eq. (9) inference: window-average predictions over consecutive
      * T-cycle windows of a *full* per-cycle feature matrix; windows
      * never straddle the @p segments boundaries.
+     *
+     * Data errors return a Status instead of aborting: InvalidArgument
+     * when T is zero or no segment holds a full T-cycle window,
+     * OutOfRange when a segment exceeds the matrix rows.
      */
-    std::vector<float> predictWindowsFull(
+    StatusOr<std::vector<float>> predictWindowsFull(
         const BitColumnMatrix &X, uint32_t T,
         std::span<const SegmentInfo> segments) const;
 
     /** Same over a proxy-only matrix (columns follow base.proxyIds). */
-    std::vector<float> predictWindowsProxies(
+    StatusOr<std::vector<float>> predictWindowsProxies(
         const BitColumnMatrix &Xq, uint32_t T,
         std::span<const SegmentInfo> segments) const;
 };
@@ -54,8 +59,10 @@ MultiCycleModel trainMultiCycle(const Dataset &train, uint32_t tau,
 /**
  * Ground-truth labels for Fig. 11: window-average power over
  * consecutive T-cycle windows (per segment, full windows only).
+ * Same error contract as predictWindowsFull; segments are
+ * bounds-checked against y.size().
  */
-std::vector<float> windowAverageLabels(
+StatusOr<std::vector<float>> windowAverageLabels(
     std::span<const float> y, uint32_t T,
     std::span<const SegmentInfo> segments);
 

@@ -60,9 +60,16 @@ analyzeDidt(std::span<const float> truth_power,
             std::span<const float> est_power, double vdd,
             double deep_percentile)
 {
-    APOLLO_REQUIRE(truth_power.size() == est_power.size() &&
-                       truth_power.size() > 2,
+    APOLLO_REQUIRE(truth_power.size() == est_power.size(),
                    "trace arity mismatch");
+    // n == 3 would feed pearsonD two-sample inputs below (subspan(1)
+    // of a 3-entry delta series), which are always degenerate.
+    APOLLO_REQUIRE(truth_power.size() >= 4,
+                   "dI/dt analysis needs at least 4 samples, got ",
+                   truth_power.size());
+    APOLLO_REQUIRE(deep_percentile >= 0.0 && deep_percentile <= 1.0,
+                   "deep_percentile must be in [0, 1], got ",
+                   deep_percentile);
     const std::vector<double> i_truth =
         currentFromPower(truth_power, vdd);
     const std::vector<double> i_est = currentFromPower(est_power, vdd);
@@ -94,9 +101,11 @@ analyzeDidt(std::span<const float> truth_power,
         mags.push_back(std::abs(di_truth[i]));
     std::vector<double> sorted = mags;
     std::sort(sorted.begin(), sorted.end());
-    const double cut =
-        sorted[static_cast<size_t>(deep_percentile *
-                                   (sorted.size() - 1))];
+    const size_t cut_index = std::min(
+        sorted.size() - 1,
+        static_cast<size_t>(deep_percentile *
+                            static_cast<double>(sorted.size() - 1)));
+    const double cut = sorted[cut_index];
 
     std::vector<double> deep_truth;
     std::vector<double> deep_est;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -33,19 +35,30 @@ DesignTimeFlows::runCommercialFlow(const Program &prog,
 {
     FlowReport rep;
     rep.flowName = "commercial (all signals + sign-off power)";
+    APOLLO_COUNT("apollo.flow.runs", 1);
 
     auto t0 = Clock::now();
     DatasetBuilder builder(netlist_, coreParams_, powerParams_);
-    builder.addProgram(prog, max_cycles);
+    {
+        APOLLO_TRACE_SPAN("flow.simulate");
+        builder.addProgram(prog, max_cycles);
+    }
     rep.simSeconds = secondsSince(t0);
     rep.cycles = builder.frames().size();
+    APOLLO_OBSERVE("apollo.flow.simulate_seconds", rep.simSeconds,
+                   ::apollo::obs::latencyBounds());
 
     // Full-signal toggle extraction + per-toggle power accounting are
     // fused in build(); we attribute the whole stage to power since the
     // oracle dominates (it touches every toggling net's capacitance).
     auto t1 = Clock::now();
-    Dataset ds = builder.build();
+    Dataset ds = [&] {
+        APOLLO_TRACE_SPAN("flow.power");
+        return builder.build();
+    }();
     rep.powerSeconds = secondsSince(t1);
+    APOLLO_OBSERVE("apollo.flow.power_seconds", rep.powerSeconds,
+                   ::apollo::obs::latencyBounds());
     rep.traceBytes = ds.X.byteSize();
     rep.power = std::move(ds.y);
     return rep;
@@ -57,12 +70,18 @@ DesignTimeFlows::runApolloFlow(const Program &prog, uint64_t max_cycles,
 {
     FlowReport rep;
     rep.flowName = "apollo (all signals + model inference)";
+    APOLLO_COUNT("apollo.flow.runs", 1);
 
     auto t0 = Clock::now();
     DatasetBuilder builder(netlist_, coreParams_, powerParams_);
-    builder.addProgram(prog, max_cycles);
+    {
+        APOLLO_TRACE_SPAN("flow.simulate");
+        builder.addProgram(prog, max_cycles);
+    }
     rep.simSeconds = secondsSince(t0);
     rep.cycles = builder.frames().size();
+    APOLLO_OBSERVE("apollo.flow.simulate_seconds", rep.simSeconds,
+                   ::apollo::obs::latencyBounds());
 
     // RTL simulation still dumps every signal...
     auto t1 = Clock::now();
@@ -70,15 +89,25 @@ DesignTimeFlows::runApolloFlow(const Program &prog, uint64_t max_cycles,
     std::vector<uint32_t> all_ids(netlist_.signalCount());
     for (size_t c = 0; c < all_ids.size(); ++c)
         all_ids[c] = static_cast<uint32_t>(c);
-    const BitColumnMatrix full = DatasetBuilder::traceProxies(
-        builder.engine(), builder.frames(), all_ids, begin_of);
+    const BitColumnMatrix full = [&] {
+        APOLLO_TRACE_SPAN("flow.trace");
+        return DatasetBuilder::traceProxies(
+            builder.engine(), builder.frames(), all_ids, begin_of);
+    }();
     rep.traceSeconds = secondsSince(t1);
     rep.traceBytes = full.byteSize();
+    APOLLO_OBSERVE("apollo.flow.trace_seconds", rep.traceSeconds,
+                   ::apollo::obs::latencyBounds());
 
     // ...but the power calculation is replaced by linear inference.
     auto t2 = Clock::now();
-    rep.power = model.predictFull(full);
+    {
+        APOLLO_TRACE_SPAN("flow.infer");
+        rep.power = model.predictFull(full);
+    }
     rep.powerSeconds = secondsSince(t2);
+    APOLLO_OBSERVE("apollo.flow.infer_seconds", rep.powerSeconds,
+                   ::apollo::obs::latencyBounds());
     return rep;
 }
 
@@ -105,12 +134,18 @@ DesignTimeFlows::runEmulatorFlowStreaming(const Program &prog,
     FlowReport rep;
     rep.flowName =
         "emulator-streaming (chunked proxy trace + sink inference)";
+    APOLLO_COUNT("apollo.flow.runs", 1);
 
     auto t0 = Clock::now();
     DatasetBuilder builder(netlist_, coreParams_, powerParams_);
-    builder.addProgram(prog, max_cycles);
+    {
+        APOLLO_TRACE_SPAN("flow.simulate");
+        builder.addProgram(prog, max_cycles);
+    }
     rep.simSeconds = secondsSince(t0);
     rep.cycles = builder.frames().size();
+    APOLLO_OBSERVE("apollo.flow.simulate_seconds", rep.simSeconds,
+                   ::apollo::obs::latencyBounds());
 
     // Proxy bits are generated chunk by chunk straight from the frame
     // history (identical bits to DatasetBuilder::traceProxies — the
@@ -120,6 +155,7 @@ DesignTimeFlows::runEmulatorFlowStreaming(const Program &prog,
                                  model.proxyIds,
                                  builder.segmentBeginTable());
     const StreamingInference engine(model);
+    APOLLO_TRACE_SPAN("flow.stream");
     StatusOr<StreamStats> stats = engine.run(reader, sink, config);
     // Flow configuration/sink failures are caller errors at this layer.
     if (!stats.ok())
@@ -198,9 +234,14 @@ generateTrainingSet(const Netlist &netlist,
     if (options.cyclesEach == 0)
         return Status::invalidArgument("cyclesEach must be >= 1");
 
+    APOLLO_COUNT("apollo.flow.runs", 1);
     DatasetBuilder builder(netlist, core_params, power_params);
     GaGenerator ga(builder, options.ga);
-    ga.run();
+    {
+        APOLLO_TRACE_SPAN("flow.ga_run");
+        APOLLO_SCOPED_TIMER("apollo.flow.ga_seconds");
+        ga.run();
+    }
 
     TrainingGenReport rep;
     rep.gaStats = ga.stats();
@@ -235,7 +276,11 @@ generateTrainingSet(const Netlist &netlist,
                 builder.frames().size() - before;
         }
     }
-    rep.dataset = builder.build();
+    {
+        APOLLO_TRACE_SPAN("flow.export");
+        APOLLO_SCOPED_TIMER("apollo.flow.export_seconds");
+        rep.dataset = builder.build();
+    }
     return rep;
 }
 

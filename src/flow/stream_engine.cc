@@ -5,6 +5,8 @@
 #include <chrono>
 #include <ostream>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "opm/opm_simulator.hh"
 #include "util/thread_pool.hh"
 
@@ -153,6 +155,10 @@ StreamingInference::run(ProxyChunkReader &reader, PowerSink &sink,
     if (quantized)
         sim.emplace(*qmodel_, T);
 
+    APOLLO_TRACE_SPAN("stream.run");
+    APOLLO_GAUGE_SET("apollo.stream.chunks_in_flight",
+                     static_cast<double>(in_flight));
+
     std::vector<Slot> slots(in_flight);
     StreamStats stats;
 
@@ -163,6 +169,17 @@ StreamingInference::run(ProxyChunkReader &reader, PowerSink &sink,
     double window_acc = 0.0;
     uint32_t window_phase = 0;
     std::vector<float> emit; // staging for windowed/quantized samples
+
+    // Sink time is the backpressure signal: a slow consumer shows up
+    // here, not in the compute stages.
+    double sink_seconds = 0.0;
+    auto timed_consume = [&](uint64_t first,
+                             std::span<const float> values) {
+        auto ts = Clock::now();
+        Status st = sink.consume(first, values);
+        sink_seconds += secondsSince(ts);
+        return st;
+    };
 
     bool at_end = false;
     while (!at_end && !stats.cancelled) {
@@ -239,7 +256,7 @@ StreamingInference::run(ProxyChunkReader &reader, PowerSink &sink,
                         emit.push_back(static_cast<float>(out.power));
                 }
                 if (!emit.empty())
-                    sunk = sink.consume(stats.outputs, emit);
+                    sunk = timed_consume(stats.outputs, emit);
                 stats.outputs += emit.size();
             } else if (T > 0) {
                 emit.clear();
@@ -254,10 +271,10 @@ StreamingInference::run(ProxyChunkReader &reader, PowerSink &sink,
                     }
                 }
                 if (!emit.empty())
-                    sunk = sink.consume(stats.outputs, emit);
+                    sunk = timed_consume(stats.outputs, emit);
                 stats.outputs += emit.size();
             } else {
-                sunk = sink.consume(
+                sunk = timed_consume(
                     slot.chunk.firstCycle,
                     std::span<const float>(slot.fsums.data(),
                                            slot.rows));
@@ -282,6 +299,21 @@ StreamingInference::run(ProxyChunkReader &reader, PowerSink &sink,
     if (Status fin = sink.finish(stats.outputs); !fin.ok() &&
         fin.code() != StatusCode::Cancelled)
         return fin;
+
+    APOLLO_COUNT("apollo.stream.runs", 1);
+    APOLLO_COUNT("apollo.stream.chunks", stats.chunks);
+    APOLLO_COUNT("apollo.stream.cycles", stats.cycles);
+    APOLLO_COUNT("apollo.stream.outputs", stats.outputs);
+    if (stats.cancelled)
+        APOLLO_COUNT("apollo.stream.cancelled", 1);
+    if (APOLLO_OBS_ON()) {
+        if (stats.inferSeconds > 0.0)
+            APOLLO_GAUGE_SET("apollo.stream.cycles_per_sec",
+                             static_cast<double>(stats.cycles) /
+                                 stats.inferSeconds);
+        APOLLO_OBSERVE("apollo.stream.sink_seconds", sink_seconds,
+                       ::apollo::obs::latencyBounds());
+    }
     return stats;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "gen/fitness_eval.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -313,6 +315,8 @@ void
 GaGenerator::evaluatePopulation(std::vector<GaIndividual> &population,
                                 uint32_t generation)
 {
+    APOLLO_TRACE_SPAN("ga.generation");
+    const GaRunStats before = stats_;
     const size_t pop_size = population.size();
 
     // Serial resolution pass (ascending slot): look each genome up in
@@ -457,6 +461,18 @@ GaGenerator::evaluatePopulation(std::vector<GaIndividual> &population,
         ind.id = all_.size();
         all_.push_back(ind);
     }
+
+    APOLLO_COUNT("apollo.ga.generations", 1);
+    APOLLO_COUNT("apollo.ga.cache_hits",
+                 stats_.cacheHits - before.cacheHits);
+    APOLLO_COUNT("apollo.ga.cache_misses",
+                 stats_.cacheMisses - before.cacheMisses);
+    APOLLO_COUNT("apollo.ga.evaluations",
+                 stats_.evaluations - before.evaluations);
+    APOLLO_COUNT("apollo.ga.simulated_cycles",
+                 stats_.simulatedCycles - before.simulatedCycles);
+    APOLLO_GAUGE_SET("apollo.ga.frame_pool",
+                     static_cast<double>(framePool_.size()));
 }
 
 void

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hh"
 #include "util/bitvec_kernels.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -342,6 +343,7 @@ CdSolver::fitImpl(const View &X, const CdConfig &config,
     std::vector<uint32_t> violators;
     std::vector<uint32_t> still_rejected;
     std::vector<uint32_t> need; // rejected columns requiring exact dots
+    uint32_t readmitted = 0;
     for (;;) {
         converged = false;
         rebuild_active();
@@ -435,6 +437,7 @@ CdSolver::fitImpl(const View &X, const CdConfig &config,
         }
         if (violators.empty())
             break;
+        readmitted += static_cast<uint32_t>(violators.size());
         strong.insert(strong.end(), violators.begin(), violators.end());
         std::sort(strong.begin(), strong.end());
         rest.swap(still_rejected);
@@ -447,6 +450,17 @@ CdSolver::fitImpl(const View &X, const CdConfig &config,
     res.kktPasses = kkt_passes;
     res.kktDots = kkt_dots;
     res.screenedOut = static_cast<uint32_t>(live_.size() - strong.size());
+    APOLLO_COUNT("apollo.solver.fits", 1);
+    APOLLO_COUNT("apollo.solver.sweeps", sweeps);
+    APOLLO_COUNT("apollo.solver.kkt_passes", kkt_passes);
+    APOLLO_COUNT("apollo.solver.kkt_dots", kkt_dots);
+    APOLLO_COUNT("apollo.solver.kkt_violations_readmitted", readmitted);
+    APOLLO_COUNT("apollo.solver.screened_out", res.screenedOut);
+    if (APOLLO_OBS_ON() && !live_.empty())
+        APOLLO_OBSERVE("apollo.solver.screen_drop_rate",
+                       static_cast<double>(res.screenedOut) /
+                           static_cast<double>(live_.size()),
+                       ::apollo::obs::ratioBounds());
     double sse = 0.0;
     for (float v : r)
         sse += static_cast<double>(v) * v;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace apollo {
@@ -30,6 +31,10 @@ runLambdaPath(CdSolver &solver, CdConfig base,
             solver.fit(base, path.empty() ? nullptr : &warm);
         point.nonzeros = point.result.nonzeros();
         warm = point.result;
+        APOLLO_COUNT("apollo.solver.path_points", 1);
+        APOLLO_OBSERVE("apollo.solver.lambda_sweeps",
+                       static_cast<double>(point.result.sweeps),
+                       ::apollo::obs::countBounds());
         path.push_back(std::move(point));
 
         if (path_config.stopAtNonzeros &&
@@ -121,6 +126,7 @@ solveForTargetQ(CdSolver &solver, CdConfig base, size_t target_q,
 
     size_t bisections = 0;
     for (; bisections < 12; ++bisections) {
+        APOLLO_COUNT("apollo.solver.bisections", 1);
         const double lambda_mid =
             std::sqrt(lambda_lo * lambda_hi); // geometric midpoint
         base.penalty.lambda = lambda_mid;
@@ -219,6 +225,7 @@ solveForTargetsQ(CdSolver &solver, CdConfig base,
             size_t best_nnz = nnz;
             bool exact = false;
             for (int iter = 0; iter < 12; ++iter) {
+                APOLLO_COUNT("apollo.solver.bisections", 1);
                 const double mid = std::sqrt(lo * hi);
                 CdResult mid_res = solve_at(mid);
                 const size_t mid_nnz = mid_res.nonzeros();

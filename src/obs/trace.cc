@@ -1,0 +1,138 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace apollo::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point
+processEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+// Touch the epoch at static-init time so span timestamps measure from
+// process start even if the first span fires late.
+const auto epochInit = processEpoch();
+
+} // namespace
+
+uint64_t
+nowMicros()
+{
+    (void)epochInit;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - processEpoch())
+            .count());
+}
+
+TraceCollector &
+TraceCollector::instance()
+{
+    // Leaked for the same reason as MetricRegistry: thread-local
+    // buffers may flush during late static destruction.
+    static TraceCollector *collector = new TraceCollector();
+    return *collector;
+}
+
+TraceCollector::ThreadBuffer &
+TraceCollector::localBuffer()
+{
+    thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+        auto fresh = std::make_shared<ThreadBuffer>();
+        std::lock_guard<std::mutex> lock(mu_);
+        fresh->tid = nextTid_++;
+        buffers_.push_back(fresh);
+        return fresh;
+    }();
+    return *buffer;
+}
+
+void
+TraceCollector::record(const TraceEvent &event)
+{
+    ThreadBuffer &buffer = localBuffer();
+    std::lock_guard<std::mutex> lock(buffer.mu);
+    TraceEvent stamped = event;
+    stamped.tid = buffer.tid;
+    buffer.events.push_back(stamped);
+}
+
+size_t
+TraceCollector::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t total = 0;
+    for (const auto &buffer : buffers_) {
+        std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+        total += buffer->events.size();
+    }
+    return total;
+}
+
+std::string
+TraceCollector::flushJson()
+{
+    std::vector<TraceEvent> events;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto &buffer : buffers_) {
+            std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+            events.insert(events.end(), buffer->events.begin(),
+                          buffer->events.end());
+            buffer->events.clear();
+        }
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.tsMicros < b.tsMicros;
+                     });
+
+    std::string out = "{\"traceEvents\": [";
+    for (size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent &e = events[i];
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "%s\n  {\"name\": \"%s\", \"cat\": \"%s\", "
+                      "\"ph\": \"X\", \"ts\": %" PRIu64
+                      ", \"dur\": %" PRIu64
+                      ", \"pid\": 1, \"tid\": %u}",
+                      i ? "," : "", e.name, e.category, e.tsMicros,
+                      e.durMicros, e.tid);
+        out += buf;
+    }
+    out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+    return out;
+}
+
+Status
+TraceCollector::writeJson(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os.is_open())
+        return Status::ioError("cannot open trace output '", path, "'");
+    os << flushJson();
+    os.flush();
+    if (!os)
+        return Status::ioError("trace write to '", path, "' failed");
+    return Status::okStatus();
+}
+
+void
+TraceCollector::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &buffer : buffers_) {
+        std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+        buffer->events.clear();
+    }
+}
+
+} // namespace apollo::obs

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cmath>
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace apollo {
@@ -136,6 +137,19 @@ OpmSimulator::simulate(const BitColumnMatrix &Xq)
         const Output sample = step(row_bits.data());
         if (sample.valid)
             out.push_back(static_cast<float>(sample.power));
+    }
+    APOLLO_COUNT("apollo.opm.simulations", 1);
+    APOLLO_COUNT("apollo.opm.cycles", n);
+    APOLLO_COUNT("apollo.opm.windows", out.size());
+    if (APOLLO_OBS_ON() && n > 0 && Xq.cols() > 0) {
+        uint64_t ones = 0;
+        for (size_t q = 0; q < Xq.cols(); ++q)
+            ones += Xq.colPopcount(q);
+        APOLLO_OBSERVE("apollo.opm.toggle_density",
+                       static_cast<double>(ones) /
+                           (static_cast<double>(n) *
+                            static_cast<double>(Xq.cols())),
+                       ::apollo::obs::ratioBounds());
     }
     return out;
 }

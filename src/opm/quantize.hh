@@ -12,8 +12,19 @@
 #include <vector>
 
 #include "core/apollo_model.hh"
+#include "util/status.hh"
 
 namespace apollo {
+
+/**
+ * Width budget for the OPM's per-cycle sum *including* the quantized
+ * intercept. OpmSimulator/opm_hardware/hls_emitter size the accumulator
+ * as cycleSumBits + log2(T) and require the result to fit 62 bits;
+ * capping the cycle sum at 47 magnitude bits leaves room for every
+ * supported window (T up to 2^15) without silent wraparound in the
+ * emitted fixed-point datapath.
+ */
+constexpr uint32_t kOpmMaxCycleSumBits = 47;
 
 /** A B-bit fixed-point APOLLO model. */
 struct QuantizedModel
@@ -36,7 +47,22 @@ struct QuantizedModel
     ApolloModel toFloatModel() const;
 };
 
-/** Quantize @p model to @p bits-bit weights. */
+/**
+ * Quantize @p model to @p bits-bit weights. Data errors return a
+ * Status: InvalidArgument when bits is outside [2, 24], OutOfRange
+ * when the quantized intercept pushes the worst-case cycle sum past
+ * kOpmMaxCycleSumBits (the overflow is checked in double *before* the
+ * llround, so a huge intercept/scale ratio can never wrap int64).
+ *
+ * Dequantization error contract (checked by the opm.quantize_roundtrip
+ * differential oracle): a T-window OPM output differs from the
+ * toFloatModel() Eq. (9) float inference by less than one scale unit
+ * (the >> log2(T) truncation) plus float rounding of the weight sums.
+ */
+StatusOr<QuantizedModel> tryQuantizeModel(const ApolloModel &model,
+                                          uint32_t bits);
+
+/** tryQuantizeModel that throws FatalError on invalid input. */
 QuantizedModel quantizeModel(const ApolloModel &model, uint32_t bits);
 
 } // namespace apollo

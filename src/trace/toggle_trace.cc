@@ -4,6 +4,8 @@
 #include <mutex>
 
 #include "gen/fitness_eval.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -37,6 +39,8 @@ DatasetBuilder::addProgram(const Program &prog, uint64_t max_cycles,
         [&](const ActivityFrame &f) { frames_.push_back(f); });
     seg.end = frames_.size();
     segments_.push_back(seg);
+    APOLLO_COUNT("apollo.activity.programs", 1);
+    APOLLO_COUNT("apollo.activity.cycles", seg.end - seg.begin);
     return stats;
 }
 
@@ -51,6 +55,7 @@ DatasetBuilder::addFrames(const std::string &name,
     frames_.insert(frames_.end(), frames.begin(), frames.end());
     seg.end = frames_.size();
     segments_.push_back(seg);
+    APOLLO_COUNT("apollo.activity.frames", frames.size());
 }
 
 std::vector<uint32_t>
@@ -66,6 +71,7 @@ DatasetBuilder::segmentBeginTable() const
 Dataset
 DatasetBuilder::build() const
 {
+    APOLLO_TRACE_SPAN("trace.build");
     const size_t n = frames_.size();
     const size_t m = netlist_.signalCount();
     APOLLO_REQUIRE(n > 0, "no programs added");
@@ -110,6 +116,17 @@ DatasetBuilder::build() const
     ds.y.resize(n);
     for (size_t i = 0; i < n; ++i)
         ds.y[i] = static_cast<float>(oracle_.finalize(raw_y[i], i));
+    APOLLO_COUNT("apollo.activity.datasets_built", 1);
+    if (APOLLO_OBS_ON() && m > 0) {
+        uint64_t ones = 0;
+        for (size_t c = 0; c < m; ++c)
+            ones += ds.X.colPopcount(c);
+        APOLLO_OBSERVE("apollo.activity.toggle_density",
+                       static_cast<double>(ones) /
+                           (static_cast<double>(n) *
+                            static_cast<double>(m)),
+                       ::apollo::obs::ratioBounds());
+    }
     return ds;
 }
 

@@ -17,12 +17,36 @@ run_step(gen-data --design tiny --out train.apds --benchmarks 10
 run_step(gen-test --design tiny --out test.apds)
 run_step(train --data train.apds --q 25 --out model.txt)
 run_step(eval --model model.txt --data test.apds)
-run_step(opm --model model.txt --design tiny --bits 10 --emit opm.hh)
+run_step(opm --model model.txt --design tiny --bits 10 --emit opm.hh
+         --metrics-json opm_metrics.json)
 run_step(trace --model model.txt --design tiny --cycles 5000
-         --out trace.csv)
+         --out trace.csv --metrics-json metrics.json
+         --trace-out spans.json)
 
-foreach(artifact train.apds test.apds model.txt opm.hh trace.csv)
+foreach(artifact train.apds test.apds model.txt opm.hh trace.csv
+        opm_metrics.json metrics.json spans.json)
     if(NOT EXISTS ${WORK_DIR}/${artifact})
         message(FATAL_ERROR "missing artifact: ${artifact}")
     endif()
 endforeach()
+
+# The observability artifacts must carry their documented structure
+# (real JSON parsing is covered by tests/test_obs.cc; here we check
+# the CLI wired the right registries to the right files).
+file(READ ${WORK_DIR}/opm_metrics.json opm_metrics)
+if(NOT opm_metrics MATCHES "apollo\\.opm\\.quantizations")
+    message(FATAL_ERROR "opm metrics snapshot lacks OPM counters")
+endif()
+file(READ ${WORK_DIR}/metrics.json metrics)
+foreach(counter apollo.activity.programs apollo.stream.runs
+        apollo.flow.runs)
+    string(REPLACE "." "\\." counter_re ${counter})
+    if(NOT metrics MATCHES "${counter_re}")
+        message(FATAL_ERROR
+                "trace metrics snapshot lacks ${counter}")
+    endif()
+endforeach()
+file(READ ${WORK_DIR}/spans.json spans)
+if(NOT spans MATCHES "traceEvents" OR NOT spans MATCHES "\"ph\": \"X\"")
+    message(FATAL_ERROR "span file is not Chrome trace_event JSON")
+endif()

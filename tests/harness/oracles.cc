@@ -182,18 +182,26 @@ runWindowsEq9(uint64_t seed)
     const MultiCycleModel mc{c.model,
                              1 + static_cast<uint32_t>(seed % 7)};
     if (fullWindows(c) == 0) {
-        // Production contract: no full window anywhere is a caller
-        // error (FatalError), not a silent empty result.
-        try {
+        // Production contract: no full window anywhere is an
+        // InvalidArgument Status, not a silent empty result.
+        StatusOr<std::vector<float>> empty =
             mc.predictWindowsProxies(c.Xq, c.T, c.segments);
-        } catch (const FatalError &) {
-            return std::nullopt;
-        }
-        return fmt("shape=%s: expected FatalError for zero windows",
-                   c.shape.c_str());
+        if (empty.ok())
+            return fmt("shape=%s: expected InvalidArgument for zero "
+                       "windows",
+                       c.shape.c_str());
+        if (empty.status().code() != StatusCode::InvalidArgument)
+            return fmt("shape=%s: zero windows returned '%s'",
+                       c.shape.c_str(),
+                       empty.status().toString().c_str());
+        return std::nullopt;
     }
-    const std::vector<float> prod =
+    StatusOr<std::vector<float>> got =
         mc.predictWindowsProxies(c.Xq, c.T, c.segments);
+    if (!got.ok())
+        return fmt("shape=%s: predictWindowsProxies failed: %s",
+                   c.shape.c_str(), got.status().toString().c_str());
+    const std::vector<float> prod = *got;
     const std::vector<float> want =
         ref::predictWindowsProxies(c.model, c.Xq, c.T, c.segments);
     return compareExact(prod, want, c.shape + fmt("+T=%u", c.T));
@@ -319,6 +327,62 @@ runStreamQuantized(uint64_t seed)
     return compareExact(sink.values(), ref::opmSimulate(qm, c.Xq, c.T),
                         c.shape + fmt("+B=%u+T=%u+chunk=%zu", c.bits,
                                       c.T, config.chunkCycles));
+}
+
+/**
+ * Differential check of the documented quantization error bound: the
+ * integer OPM simulation must track the toFloatModel() Eq. (9) float
+ * inference within one scale unit (the >> log2(T) truncation) plus
+ * float rounding of the weight sums.
+ */
+std::optional<std::string>
+runQuantizeRoundtrip(uint64_t seed)
+{
+    const QuantCase c = makeQuantCase(seed);
+    StatusOr<QuantizedModel> quantized =
+        tryQuantizeModel(c.model, c.bits);
+    if (!quantized.ok())
+        return fmt("shape=%s: tryQuantizeModel failed: %s",
+                   c.shape.c_str(),
+                   quantized.status().toString().c_str());
+    const QuantizedModel &qm = *quantized;
+    OpmSimulator sim(qm, c.T);
+    const std::vector<float> opm = sim.simulate(c.Xq);
+
+    const ApolloModel fm = qm.toFloatModel();
+    const MultiCycleModel mc{fm, 1};
+    const SegmentInfo whole{"trace", 0, c.Xq.rows()};
+    StatusOr<std::vector<float>> windows = mc.predictWindowsProxies(
+        c.Xq, c.T, std::span<const SegmentInfo>(&whole, 1));
+    if (!windows.ok()) {
+        // Fewer than T cycles: both paths must agree on emptiness.
+        if (opm.empty())
+            return std::nullopt;
+        return fmt("shape=%s: float path empty but OPM emitted %zu "
+                   "windows",
+                   c.shape.c_str(), opm.size());
+    }
+    if (windows->size() != opm.size())
+        return fmt("shape=%s: window count opm=%zu float=%zu",
+                   c.shape.c_str(), opm.size(), windows->size());
+
+    double weight_mass = 0.0;
+    for (int32_t qw : qm.qweights)
+        weight_mass += std::abs(qw) * qm.scale;
+    const double tol = qm.scale +
+                       1e-4 * (std::abs(fm.intercept) + weight_mass) +
+                       1e-9;
+    for (size_t i = 0; i < opm.size(); ++i) {
+        const double diff = std::abs(static_cast<double>(opm[i]) -
+                                     static_cast<double>((*windows)[i]));
+        if (diff > tol)
+            return fmt("shape=%s: window %zu opm=%a float=%a diff=%.3e "
+                       "> tol=%.3e (B=%u T=%u scale=%a)",
+                       c.shape.c_str(), i, static_cast<double>(opm[i]),
+                       static_cast<double>((*windows)[i]), diff, tol,
+                       c.bits, c.T, qm.scale);
+    }
+    return std::nullopt;
 }
 
 // ---------------------------------------------------------------------
@@ -698,6 +762,7 @@ oracleRegistry()
         {"infer.stream_percycle", runStreamPerCycle},
         {"infer.stream_windows", runStreamWindows},
         {"opm.quantize", runQuantize},
+        {"opm.quantize_roundtrip", runQuantizeRoundtrip},
         {"opm.simulate", runOpmSimulate},
         {"opm.stream_quantized", runStreamQuantized},
         {"solver.cd_bits", runCdBits},

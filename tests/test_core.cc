@@ -196,7 +196,8 @@ TEST(MultiCycle, Eq9RearrangementIsExact)
     ASSERT_EQ(model.tau, tau);
 
     const auto hw = model.predictWindowsFull(fx.test.X, T,
-                                             fx.test.segments);
+                                             fx.test.segments)
+                        .value();
 
     // Textbook: average the tau-interval model outputs within each T
     // window, computed via interval aggregation.
@@ -232,12 +233,84 @@ TEST(MultiCycle, WindowLabelsMatchManualAverages)
     const auto &fx = fixture();
     const uint32_t T = 8;
     const auto labels = windowAverageLabels(fx.test.y, T,
-                                            fx.test.segments);
+                                            fx.test.segments)
+                            .value();
     // First window of the first segment by hand.
     double acc = 0.0;
     for (uint32_t t = 0; t < T; ++t)
         acc += fx.test.y[fx.test.segments[0].begin + t];
     EXPECT_NEAR(labels[0], acc / T, 1e-5);
+}
+
+TEST(MultiCycle, ShortTraceReturnsInvalidArgumentInsteadOfAborting)
+{
+    // Regression: a trace where every segment is shorter than T used
+    // to fall through to an empty-output APOLLO_REQUIRE abort deep in
+    // predictWindowsImpl; it is a data error and now surfaces as a
+    // Status the caller can handle.
+    MultiCycleModel model;
+    model.base.intercept = 0.5;
+    model.base.proxyIds = {0, 1};
+    model.base.weights = {0.25f, 0.125f};
+
+    BitColumnMatrix X;
+    X.reset(6, 2);
+    X.setBit(0, 0);
+    X.setBit(3, 1);
+    const std::vector<SegmentInfo> segs = {{"short", 0, 6}};
+
+    const auto pred = model.predictWindowsFull(X, 8, segs);
+    ASSERT_FALSE(pred.ok());
+    EXPECT_EQ(pred.status().code(), StatusCode::InvalidArgument);
+
+    const std::vector<float> y = {1.f, 2.f, 3.f, 4.f, 5.f, 6.f};
+    const auto labels = windowAverageLabels(y, 8, segs);
+    ASSERT_FALSE(labels.ok());
+    EXPECT_EQ(labels.status().code(), StatusCode::InvalidArgument);
+
+    // T = 0 is invalid as well.
+    EXPECT_EQ(model.predictWindowsFull(X, 0, segs).status().code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(windowAverageLabels(y, 0, segs).status().code(),
+              StatusCode::InvalidArgument);
+}
+
+TEST(MultiCycle, MismatchedSegmentsReturnOutOfRange)
+{
+    // Regression: segment bounds beyond the matrix rows / label length
+    // walked straight off the data (reading garbage or crashing under
+    // ASan); they now return OutOfRange with the offending segment
+    // named in the message.
+    MultiCycleModel model;
+    model.base.intercept = 0.5;
+    model.base.proxyIds = {0};
+    model.base.weights = {0.25f};
+
+    BitColumnMatrix X;
+    X.reset(6, 1);
+    const std::vector<SegmentInfo> beyond = {{"beyond", 0, 10}};
+    const auto pred = model.predictWindowsFull(X, 2, beyond);
+    ASSERT_FALSE(pred.ok());
+    EXPECT_EQ(pred.status().code(), StatusCode::OutOfRange);
+    EXPECT_NE(pred.status().message().find("beyond"),
+              std::string::npos);
+
+    const std::vector<float> y = {1.f, 2.f, 3.f, 4.f, 5.f, 6.f};
+    const auto labels = windowAverageLabels(y, 2, beyond);
+    ASSERT_FALSE(labels.ok());
+    EXPECT_EQ(labels.status().code(), StatusCode::OutOfRange);
+
+    // Inverted segments are invalid-argument data errors.
+    const std::vector<SegmentInfo> inverted = {{"inv", 4, 2}};
+    EXPECT_EQ(
+        model.predictWindowsFull(X, 2, inverted).status().code(),
+        StatusCode::InvalidArgument);
+
+    // A well-formed call on the same model still works.
+    const std::vector<SegmentInfo> good = {{"good", 0, 6}};
+    const auto ok = model.predictWindowsFull(X, 2, good);
+    ASSERT_TRUE(ok.ok()) << ok.status().toString();
+    EXPECT_EQ(ok->size(), 3u);
 }
 
 TEST(MultiCycle, TauEightBeatsExtremesAtLargeT)
@@ -253,12 +326,14 @@ TEST(MultiCycle, TauEightBeatsExtremesAtLargeT)
     cfg.selection.targetQ = 24;
 
     const auto labels = windowAverageLabels(fx.test.y, T,
-                                            fx.test.segments);
+                                            fx.test.segments)
+                            .value();
     auto nrmse_for = [&](uint32_t tau) {
         const MultiCycleModel m =
             trainMultiCycle(fx.train, tau, cfg, "tiny");
         const auto pred =
-            m.predictWindowsFull(fx.test.X, T, fx.test.segments);
+            m.predictWindowsFull(fx.test.X, T, fx.test.segments)
+                .value();
         return nrmse(labels, pred);
     };
     const double e1 = nrmse_for(1);

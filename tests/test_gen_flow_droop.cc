@@ -240,6 +240,35 @@ TEST(Droop, PerfectEstimateGivesPerfectCorrelation)
     EXPECT_NEAR(self.deepDroopRecall, 1.0, 1e-9);
 }
 
+TEST(Droop, RejectsOutOfRangePercentile)
+{
+    // Regression: deep_percentile was used unvalidated to index the
+    // sorted |dI/dt| array, so 1.5 computed cut = 1.5 * (n-1) — a
+    // heap-buffer-overflow read visible under ASan before the fix.
+    std::vector<float> power = {1.f, 2.f, 4.f, 3.f, 2.f, 5.f,
+                                1.f, 3.f, 2.f, 4.f, 3.f, 2.f};
+    EXPECT_THROW(analyzeDidt(power, power, 0.75, 1.5), FatalError);
+    EXPECT_THROW(analyzeDidt(power, power, 0.75, -0.25), FatalError);
+    // Inclusive endpoints are valid and must clamp safely.
+    EXPECT_NO_THROW(analyzeDidt(power, power, 0.75, 0.0));
+    EXPECT_NO_THROW(analyzeDidt(power, power, 0.75, 1.0));
+}
+
+TEST(Droop, RejectsDegenerateShortTraces)
+{
+    // Regression: n == 3 produced two-sample delta series whose
+    // Pearson correlation is always degenerate (division by a zero
+    // variance); the analysis now requires at least 4 samples.
+    std::vector<float> three = {1.f, 2.f, 3.f};
+    EXPECT_THROW(analyzeDidt(three, three, 0.75), FatalError);
+    std::vector<float> four = {1.f, 2.f, 3.f, 1.f};
+    EXPECT_NO_THROW(analyzeDidt(four, four, 0.75));
+    // Arity mismatch is still rejected.
+    EXPECT_THROW(analyzeDidt(four, three, 0.75), FatalError);
+    // vdd must stay positive (pre-existing contract).
+    EXPECT_THROW(analyzeDidt(four, four, 0.0), FatalError);
+}
+
 TEST(Droop, OpmEstimateCorrelatesWithTruth)
 {
     const auto &fx = flowFixture();

@@ -138,9 +138,9 @@ TEST(Integration, MultiCycleWindowErrorsShrinkWithT)
     const MultiCycleModel mc =
         trainMultiCycle(px.train, 8, cfg, px.netlist.name());
     const auto labels =
-        windowAverageLabels(px.test.y, 32, px.test.segments);
+        windowAverageLabels(px.test.y, 32, px.test.segments).value();
     const auto wpred =
-        mc.predictWindowsFull(px.test.X, 32, px.test.segments);
+        mc.predictWindowsFull(px.test.X, 32, px.test.segments).value();
     EXPECT_LT(nrmse(labels, wpred), e1);
 }
 

@@ -80,6 +80,51 @@ TEST(Quantize, RoundTripErrorBounded)
     }
 }
 
+TEST(Quantize, BitWidthBoundaries)
+{
+    const auto &fx = fixture();
+    // The supported range is bits in [2, 24]; both edges must work and
+    // both neighbours must be rejected as data errors.
+    for (uint32_t bits : {2u, 10u, 24u}) {
+        const StatusOr<QuantizedModel> qm =
+            tryQuantizeModel(fx.model, bits);
+        ASSERT_TRUE(qm.ok()) << qm.status().toString();
+        EXPECT_EQ(qm->bits, bits);
+        const int64_t limit = (1LL << (bits - 1)) - 1;
+        for (int32_t qw : qm->qweights)
+            EXPECT_LE(std::abs(static_cast<int64_t>(qw)), limit);
+    }
+    EXPECT_EQ(tryQuantizeModel(fx.model, 1).status().code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(tryQuantizeModel(fx.model, 25).status().code(),
+              StatusCode::InvalidArgument);
+    // The throwing wrapper keeps the old programming-error contract.
+    EXPECT_THROW(quantizeModel(fx.model, 1), FatalError);
+}
+
+TEST(Quantize, OversizedInterceptOverflowsCycleSumBudget)
+{
+    // Regression: a model whose intercept dwarfs its weights used to
+    // llround() an out-of-range double (UB) and then overflow the OPM
+    // accumulator width check later, in the OpmSimulator constructor.
+    // The width is now checked against kOpmMaxCycleSumBits during
+    // quantization, before any narrowing.
+    ApolloModel model;
+    model.proxyIds = {0, 1};
+    model.weights = {1e-6f, -1e-6f};
+    model.intercept = 1e6;
+    const StatusOr<QuantizedModel> qm = tryQuantizeModel(model, 10);
+    ASSERT_FALSE(qm.ok());
+    EXPECT_EQ(qm.status().code(), StatusCode::OutOfRange);
+    EXPECT_NE(qm.status().message().find("cycle-sum budget"),
+              std::string::npos);
+    EXPECT_THROW(quantizeModel(model, 10), FatalError);
+
+    // A proportionate intercept on the same weights is fine.
+    model.intercept = 1e-5;
+    EXPECT_TRUE(tryQuantizeModel(model, 10).ok());
+}
+
 TEST(Quantize, MoreBitsMeansLessError)
 {
     const auto &fx = fixture();

@@ -29,7 +29,8 @@ TEST(OracleRegistry, CoversEveryProductionPath)
         "infer.batch_proxies",   "infer.batch_full",
         "infer.windows_eq9",     "infer.stream_percycle",
         "infer.stream_windows",  "opm.quantize",
-        "opm.simulate",          "opm.stream_quantized",
+        "opm.quantize_roundtrip", "opm.simulate",
+        "opm.stream_quantized",
         "solver.cd_bits",        "solver.cd_counts",
         "solver.cd_dense",       "solver.target_q",
         "gen.toggle_columns",    "gen.fitness_power",

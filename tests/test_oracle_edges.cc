@@ -96,7 +96,7 @@ TEST(OracleEdges, WindowT1MatchesPerCycleExactlyWithZeroIntercept)
     const MultiCycleModel mc{m, 1};
     // With b = 0 the Eq. (9) window path computes float(double(s_i))
     // for each cycle's float sum s_i, which is s_i exactly.
-    EXPECT_EQ(mc.predictWindowsProxies(Xq, 1, segs),
+    EXPECT_EQ(mc.predictWindowsProxies(Xq, 1, segs).value(),
               m.predictProxies(Xq));
 }
 
@@ -107,7 +107,7 @@ TEST(OracleEdges, WindowT1TracksPerCycleWithIntercept)
     const std::vector<SegmentInfo> segs = {{"all", 0, 33}};
     const MultiCycleModel mc{m, 1};
     const std::vector<float> windows =
-        mc.predictWindowsProxies(Xq, 1, segs);
+        mc.predictWindowsProxies(Xq, 1, segs).value();
     const std::vector<float> cycles = m.predictProxies(Xq);
     ASSERT_EQ(windows.size(), cycles.size());
     // Different intercept-addition order: agreement to float rounding,
@@ -174,7 +174,7 @@ TEST(OracleEdges, SingleCycleTrace)
 
     const std::vector<SegmentInfo> segs = {{"one", 0, 1}};
     const MultiCycleModel mc{m, 1};
-    EXPECT_EQ(mc.predictWindowsProxies(Xq, 1, segs),
+    EXPECT_EQ(mc.predictWindowsProxies(Xq, 1, segs).value(),
               ref::predictWindowsProxies(m, Xq, 1, segs));
 }
 

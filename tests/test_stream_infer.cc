@@ -109,8 +109,10 @@ TEST(StreamInfer, WindowedBitIdenticalForPaperTaus)
 
     for (const uint32_t T : {2u, 8u, 128u}) {
         const SegmentInfo whole{"", 0, n};
-        const std::vector<float> batch = mc.predictWindowsProxies(
-            Xq, T, std::span<const SegmentInfo>(&whole, 1));
+        const std::vector<float> batch =
+            mc.predictWindowsProxies(
+                  Xq, T, std::span<const SegmentInfo>(&whole, 1))
+                .value();
         // 127 is coprime with every T, so windows straddle chunks.
         const std::vector<float> streamed = streamToVector(
             engine, Xq,
@@ -467,7 +469,8 @@ TEST(PublicApi, InferenceFacadeMatchesSubstrate)
     const MultiCycleModel mc{model, 1};
     EXPECT_EQ(inf.predictWindows(Xq, 8),
               mc.predictWindowsProxies(
-                  Xq, 8, std::span<const SegmentInfo>(&whole, 1)));
+                    Xq, 8, std::span<const SegmentInfo>(&whole, 1))
+                  .value());
 
     MatrixChunkReader reader(Xq);
     VectorSink sink;

@@ -24,6 +24,8 @@
 #include <string>
 
 #include "apollo.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 using namespace apollo;
 
@@ -295,7 +297,13 @@ usage()
         "           [--bits B] [--window T] [--emit F]\n"
         "  trace    --model F --design D        emulator-assisted flow\n"
         "           [--cycles N] [--out F]\n"
-        "designs: tiny | n1ish | a77ish\n");
+        "designs: tiny | n1ish | a77ish\n\n"
+        "global flags (any subcommand):\n"
+        "  --metrics-json F   write a metrics-registry snapshot (JSON)\n"
+        "                     after the subcommand finishes\n"
+        "  --trace-out F      record trace spans and write Chrome\n"
+        "                     trace_event JSON (chrome://tracing,\n"
+        "                     Perfetto)\n");
 }
 
 } // namespace
@@ -311,21 +319,51 @@ main(int argc, char **argv)
     const std::string cmd = argv[1];
     try {
         Args args(argc, argv, 2);
+
+        // Global observability flags, honoured by every subcommand
+        // (Args tolerates keys a subcommand does not consume).
+        const std::string metrics_out = args.get("metrics-json");
+        const std::string trace_out = args.get("trace-out");
+        if (!trace_out.empty())
+            obs::TraceCollector::instance().setEnabled(true);
+
+        int rc = 1;
         if (cmd == "gen-data")
-            return cmdGenData(args);
-        if (cmd == "gen-test")
-            return cmdGenTest(args);
-        if (cmd == "train")
-            return cmdTrain(args);
-        if (cmd == "eval")
-            return cmdEval(args);
-        if (cmd == "opm")
-            return cmdOpm(args);
-        if (cmd == "trace")
-            return cmdTrace(args);
-        std::fprintf(stderr, "unknown subcommand '%s'\n", cmd.c_str());
-        usage();
-        return 1;
+            rc = cmdGenData(args);
+        else if (cmd == "gen-test")
+            rc = cmdGenTest(args);
+        else if (cmd == "train")
+            rc = cmdTrain(args);
+        else if (cmd == "eval")
+            rc = cmdEval(args);
+        else if (cmd == "opm")
+            rc = cmdOpm(args);
+        else if (cmd == "trace")
+            rc = cmdTrace(args);
+        else {
+            std::fprintf(stderr, "unknown subcommand '%s'\n",
+                         cmd.c_str());
+            usage();
+            return 1;
+        }
+
+        if (!metrics_out.empty()) {
+            std::ofstream os(metrics_out);
+            os << obs::MetricRegistry::instance().snapshotJson()
+               << '\n';
+            if (!os)
+                fatal("cannot write metrics snapshot to ", metrics_out);
+            std::fprintf(stderr, "wrote metrics snapshot to %s\n",
+                         metrics_out.c_str());
+        }
+        if (!trace_out.empty()) {
+            obs::TraceCollector::instance()
+                .writeJson(trace_out)
+                .orFatal();
+            std::fprintf(stderr, "wrote trace events to %s\n",
+                         trace_out.c_str());
+        }
+        return rc;
     } catch (const std::exception &err) {
         std::fprintf(stderr, "error: %s\n", err.what());
         return 1;

@@ -8,6 +8,11 @@
 # Environment:
 #   BUILD_DIR   build tree to use (default: build)
 #   APOLLO_NATIVE=1 configures the build with -march=native kernels.
+#   APOLLO_OBS_OFF_DIR  compiled-out observability tree (default:
+#               build-obs-off). Both observability configurations are
+#               built every run; the OFF tree runs the solver bench in
+#               smoke mode to prove the instrumented hot paths still
+#               compile and run with APOLLO_OBS=0.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,3 +35,18 @@ echo "BENCH_stream.json updated"
 
 "$BUILD_DIR"/bench/bench_perf_ga --out=BENCH_ga.json "$@"
 echo "BENCH_ga.json updated"
+
+"$BUILD_DIR"/bench/bench_obs_overhead --out=BENCH_obs_overhead.json "$@"
+echo "BENCH_obs_overhead.json updated"
+
+# Cross-check the compiled-out configuration: the same hot paths must
+# build and run with every APOLLO_COUNT/SPAN macro expanded to nothing.
+OBS_OFF_DIR=${APOLLO_OBS_OFF_DIR:-build-obs-off}
+cmake -B "$OBS_OFF_DIR" -S . "${cmake_flags[@]}" -DAPOLLO_OBS=OFF
+cmake --build "$OBS_OFF_DIR" -j --target bench_perf_solver \
+    --target bench_obs_overhead
+"$OBS_OFF_DIR"/bench/bench_perf_solver --smoke \
+    --out="$OBS_OFF_DIR"/BENCH_solver_obs_off.json
+"$OBS_OFF_DIR"/bench/bench_obs_overhead --smoke \
+    --out="$OBS_OFF_DIR"/BENCH_obs_overhead_off.json
+echo "APOLLO_OBS=OFF configuration builds and runs clean"

@@ -9,12 +9,22 @@
 #
 # Environment:
 #   BUILD_DIR   sanitizer build tree (default: build-asan)
+#   APOLLO_OBS=OFF  sanitize the compiled-out observability
+#               configuration instead (tree: ${BUILD_DIR}-obs-off),
+#               proving the instrumented hot paths are clean in both
+#               builds.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build-asan}
 
-cmake -B "$BUILD_DIR" -S . -DAPOLLO_SANITIZE=ON
+obs_flags=()
+if [[ "${APOLLO_OBS:-ON}" == "OFF" ]]; then
+    BUILD_DIR="${BUILD_DIR}-obs-off"
+    obs_flags+=(-DAPOLLO_OBS=OFF)
+fi
+
+cmake -B "$BUILD_DIR" -S . -DAPOLLO_SANITIZE=ON "${obs_flags[@]}"
 cmake --build "$BUILD_DIR" -j --target apollo_tests \
     --target apollo_oracle_tests \
     --target fuzz_aptr --target fuzz_vcd --target fuzz_dataset
@@ -26,7 +36,7 @@ else
     # "oracle": every production path vs its reference under
     # ASan+UBSan) and the corpus-replay fuzz drivers (label "fuzz").
     ctest --test-dir "$BUILD_DIR" --output-on-failure -R \
-        'SliceRows|StreamInfer|StreamSinks|ProxyTraceFormat|VcdStreaming|LoaderStatus|PublicApi|EmulatorFlow|OracleEdges|OracleRegression|AptrStatus|VcdStatus|DatasetStatus|GaPipeline|GaConfigValidate|GenerateTrainingSet|HashKernels|DatasetBuilderAddFrames'
+        'SliceRows|StreamInfer|StreamSinks|ProxyTraceFormat|VcdStreaming|LoaderStatus|PublicApi|EmulatorFlow|OracleEdges|OracleRegression|AptrStatus|VcdStatus|DatasetStatus|GaPipeline|GaConfigValidate|GenerateTrainingSet|HashKernels|DatasetBuilderAddFrames|MetricRegistry|TraceCollector|ObsEndToEnd|Droop|MultiCycle|Quantize'
     ctest --test-dir "$BUILD_DIR" --output-on-failure -L 'oracle|fuzz'
 fi
 echo "sanitizer run clean"
