@@ -16,6 +16,11 @@
  *  - Flows      the Fig. 7 design-time flow comparisons, including the
  *               streaming emulator-assisted flow that never
  *               materializes the proxy trace.
+ *  - serve::*   the serving layer: ModelRegistry + SessionManager
+ *               multiplex N concurrent power-introspection sessions
+ *               over shared immutable models, bit-identical to the
+ *               one-stream engine, plus the versioned wire protocol
+ *               behind `apollo_cli serve` (docs/SERVE_SCHEMA.md).
  *
  * Everything lives in namespace apollo. The per-module headers remain
  * valid includes; this header is the supported surface for examples,
@@ -89,6 +94,16 @@
 #include "flow/flows.hh"
 #include "flow/stream_engine.hh"
 #include "droop/droop.hh"
+
+// The serving layer (v1): a model registry plus a session manager
+// multiplexing N concurrent trace-to-power streams, with the
+// versioned line-delimited wire form `apollo_cli serve` speaks
+// (docs/SERVE_SCHEMA.md). Everything lives in namespace
+// apollo::serve.
+#include "serve/model_registry.hh"
+#include "serve/serve_loop.hh"
+#include "serve/session_manager.hh"
+#include "serve/wire.hh"
 
 namespace apollo {
 

@@ -13,7 +13,8 @@ const char *
 apolloVersion()
 {
     // Bumped when the public entry-point surface changes shape.
-    return "1.0";
+    // 1.1: the serving layer (apollo::serve) joined the umbrella.
+    return "1.1";
 }
 
 } // namespace apollo

@@ -164,6 +164,7 @@ DesignTimeFlows::runEmulatorFlowStreaming(const Program &prog,
     rep.traceSeconds = stats->readSeconds;
     rep.powerSeconds = stats->inferSeconds;
     rep.traceBytes = stats->traceBytes;
+    rep.cancelled = stats->cancelled;
     return rep;
 }
 

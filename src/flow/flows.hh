@@ -45,6 +45,12 @@ struct FlowReport
     uint64_t traceBytes = 0;
     /** The per-cycle power estimate. */
     std::vector<float> power;
+    /**
+     * The sink stopped the streaming flow early (StatusCode::Cancelled
+     * from consume()); `power` holds the samples delivered before the
+     * stop. Always false for the non-streaming flows.
+     */
+    bool cancelled = false;
 
     double totalSeconds() const
     {

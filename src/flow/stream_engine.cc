@@ -26,20 +26,146 @@ secondsSince(Clock::time_point t0)
 struct Slot
 {
     ProxyChunk chunk;
-    size_t rows = 0;
-    std::vector<float> fsums;   ///< float engines
-    std::vector<int64_t> isums; ///< quantized engine
+    ChunkSums sums;
 
     uint64_t
     bufferBytes() const
     {
-        return chunk.bits.byteSize() +
-               fsums.capacity() * sizeof(float) +
-               isums.capacity() * sizeof(int64_t);
+        return chunk.bits.byteSize() + sums.bufferBytes();
     }
 };
 
+/** Wraps a sink to attribute time spent inside consume(). */
+class TimedSink : public PowerSink
+{
+  public:
+    TimedSink(PowerSink &inner, double &seconds)
+        : inner_(inner), seconds_(seconds)
+    {}
+
+    Status
+    consume(uint64_t first_index, std::span<const float> values) override
+    {
+        auto t0 = Clock::now();
+        Status st = inner_.consume(first_index, values);
+        seconds_ += secondsSince(t0);
+        return st;
+    }
+
+  private:
+    PowerSink &inner_;
+    double &seconds_;
+};
+
 } // namespace
+
+StreamPipeline::StreamPipeline(const ApolloModel &model, uint32_t window_T)
+    : model_(&model), windowT_(window_T)
+{
+    APOLLO_REQUIRE(!model.proxyIds.empty(), "empty model");
+    APOLLO_REQUIRE(model.weights.size() == model.proxyIds.size(),
+                   "model weight/proxy arity mismatch");
+}
+
+StreamPipeline::StreamPipeline(const QuantizedModel &model, uint32_t T)
+    : qmodel_(&model), windowT_(T)
+{
+    // The simulator runs the width/argument checks eagerly (invalid T
+    // or an empty model is a configuration error) and carries the
+    // per-stream accumulator state.
+    sim_.emplace(model, T);
+}
+
+size_t
+StreamPipeline::proxyCount() const
+{
+    return qmodel_ ? qmodel_->proxyCount() : model_->proxyCount();
+}
+
+void
+StreamPipeline::computeSums(const BitColumnMatrix &bits, size_t rows,
+                            ChunkSums &out) const
+{
+    const size_t q = proxyCount();
+    out.rows = rows;
+    if (qmodel_) {
+        out.isums.assign(rows, qmodel_->qintercept);
+        for (size_t c = 0; c < q; ++c)
+            if (qmodel_->qweights[c] != 0)
+                bits.axpyColumnI64(c, qmodel_->qweights[c],
+                                   out.isums.data());
+    } else if (windowT_ > 0) {
+        // Weighted sums *without* intercept, like predictWindowsImpl's
+        // per_cycle vector.
+        out.fsums.assign(rows, 0.0f);
+        for (size_t c = 0; c < q; ++c)
+            if (model_->weights[c] != 0.0f)
+                bits.axpyColumn(c, model_->weights[c],
+                                out.fsums.data());
+    } else {
+        out.fsums.resize(rows);
+        model_->predictProxiesInto(bits, out.fsums);
+    }
+}
+
+Status
+StreamPipeline::emit(const ChunkSums &sums, PowerSink &sink)
+{
+    Status sunk = Status::okStatus();
+    cycles_ += sums.rows;
+    if (qmodel_) {
+        staging_.clear();
+        for (size_t i = 0; i < sums.rows; ++i) {
+            const OpmSimulator::Output out = sim_->stepSum(sums.isums[i]);
+            if (out.valid)
+                staging_.push_back(static_cast<float>(out.power));
+        }
+        if (!staging_.empty())
+            sunk = sink.consume(outputs_, staging_);
+        outputs_ += staging_.size();
+    } else if (windowT_ > 0) {
+        staging_.clear();
+        for (size_t i = 0; i < sums.rows; ++i) {
+            windowAcc_ += sums.fsums[i];
+            if (++windowPhase_ == windowT_) {
+                staging_.push_back(static_cast<float>(
+                    model_->intercept +
+                    windowAcc_ / static_cast<double>(windowT_)));
+                windowAcc_ = 0.0;
+                windowPhase_ = 0;
+            }
+        }
+        if (!staging_.empty())
+            sunk = sink.consume(outputs_, staging_);
+        outputs_ += staging_.size();
+    } else {
+        sunk = sink.consume(
+            sums.firstCycle,
+            std::span<const float>(sums.fsums.data(), sums.rows));
+        outputs_ += sums.rows;
+    }
+    if (sunk.code() == StatusCode::Cancelled) {
+        // A cancelled stream must leave no partial-window residue: a
+        // session slot reusing this pipeline would otherwise fold the
+        // dead stream's accumulator into its first window.
+        windowAcc_ = 0.0;
+        windowPhase_ = 0;
+        if (sim_)
+            sim_->reset();
+    }
+    return sunk;
+}
+
+void
+StreamPipeline::reset()
+{
+    windowAcc_ = 0.0;
+    windowPhase_ = 0;
+    cycles_ = 0;
+    outputs_ = 0;
+    if (sim_)
+        sim_->reset();
+}
 
 Status
 StreamConfig::validate() const
@@ -151,10 +277,6 @@ StreamingInference::run(ProxyChunkReader &reader, PowerSink &sink,
             ? config.chunksInFlight
             : std::max<size_t>(2, ThreadPool::global().threadCount());
 
-    std::optional<OpmSimulator> sim;
-    if (quantized)
-        sim.emplace(*qmodel_, T);
-
     APOLLO_TRACE_SPAN("stream.run");
     APOLLO_GAUGE_SET("apollo.stream.chunks_in_flight",
                      static_cast<double>(in_flight));
@@ -162,24 +284,16 @@ StreamingInference::run(ProxyChunkReader &reader, PowerSink &sink,
     std::vector<Slot> slots(in_flight);
     StreamStats stats;
 
-    // Sequential window state carried across chunks (float Eq. 9 mode;
-    // matches the per-segment double accumulator of
-    // MultiCycleModel::predictWindows* with the whole trace as one
-    // segment — a trailing partial window produces no sample).
-    double window_acc = 0.0;
-    uint32_t window_phase = 0;
-    std::vector<float> emit; // staging for windowed/quantized samples
+    // All sequential state carried across chunks (the float Eq. 9
+    // window accumulator, the OPM accumulator) lives in the pipeline;
+    // this run owns a fresh one, so runs never see each other's state.
+    StreamPipeline pipe = quantized ? StreamPipeline(*qmodel_, T)
+                                    : StreamPipeline(model_, T);
 
     // Sink time is the backpressure signal: a slow consumer shows up
     // here, not in the compute stages.
     double sink_seconds = 0.0;
-    auto timed_consume = [&](uint64_t first,
-                             std::span<const float> values) {
-        auto ts = Clock::now();
-        Status st = sink.consume(first, values);
-        sink_seconds += secondsSince(ts);
-        return st;
-    };
+    TimedSink timed_sink(sink, sink_seconds);
 
     bool at_end = false;
     while (!at_end && !stats.cancelled) {
@@ -201,9 +315,10 @@ StreamingInference::run(ProxyChunkReader &reader, PowerSink &sink,
                 return Status::invalidArgument(
                     "reader serves ", slot.chunk.proxies(),
                     " proxies, model expects ", q);
-            slot.rows = *got;
+            slot.sums.rows = *got;
+            slot.sums.firstCycle = slot.chunk.firstCycle;
             stats.chunks++;
-            stats.cycles += slot.rows;
+            stats.cycles += *got;
             stats.traceBytes += slot.chunk.bits.byteSize();
             filled++;
         }
@@ -211,75 +326,20 @@ StreamingInference::run(ProxyChunkReader &reader, PowerSink &sink,
         if (filled == 0)
             break;
 
-        // 2) Per-cycle sums for all filled slots, slot-parallel. Each
-        //    slot's result depends only on its own chunk, so the split
-        //    cannot change values.
+        // 2) Per-cycle sums for all filled slots, slot-parallel. The
+        //    compute stage is pure per chunk, so the split cannot
+        //    change values.
         auto t1 = Clock::now();
         parallelFor(filled, [&](size_t s0, size_t s1) {
-            for (size_t s = s0; s < s1; ++s) {
-                Slot &slot = slots[s];
-                if (quantized) {
-                    slot.isums.assign(slot.rows, qmodel_->qintercept);
-                    for (size_t c = 0; c < q; ++c)
-                        if (qmodel_->qweights[c] != 0)
-                            slot.chunk.bits.axpyColumnI64(
-                                c, qmodel_->qweights[c],
-                                slot.isums.data());
-                } else if (T > 0) {
-                    // Weighted sums *without* intercept, like
-                    // predictWindowsImpl's per_cycle vector.
-                    slot.fsums.assign(slot.rows, 0.0f);
-                    for (size_t c = 0; c < q; ++c)
-                        if (model_.weights[c] != 0.0f)
-                            slot.chunk.bits.axpyColumn(
-                                c, model_.weights[c],
-                                slot.fsums.data());
-                } else {
-                    slot.fsums.resize(slot.rows);
-                    model_.predictProxiesInto(slot.chunk.bits,
-                                              slot.fsums);
-                }
-            }
+            for (size_t s = s0; s < s1; ++s)
+                pipe.computeSums(slots[s].chunk.bits,
+                                 slots[s].sums.rows, slots[s].sums);
         });
 
         // 3) Ordered emission: replay slot results in cycle order
-        //    through the sequential window state.
+        //    through the sequential pipeline state.
         for (size_t s = 0; s < filled && !stats.cancelled; ++s) {
-            Slot &slot = slots[s];
-            Status sunk = Status::okStatus();
-            if (quantized) {
-                emit.clear();
-                for (size_t i = 0; i < slot.rows; ++i) {
-                    const OpmSimulator::Output out =
-                        sim->stepSum(slot.isums[i]);
-                    if (out.valid)
-                        emit.push_back(static_cast<float>(out.power));
-                }
-                if (!emit.empty())
-                    sunk = timed_consume(stats.outputs, emit);
-                stats.outputs += emit.size();
-            } else if (T > 0) {
-                emit.clear();
-                for (size_t i = 0; i < slot.rows; ++i) {
-                    window_acc += slot.fsums[i];
-                    if (++window_phase == T) {
-                        emit.push_back(static_cast<float>(
-                            model_.intercept +
-                            window_acc / static_cast<double>(T)));
-                        window_acc = 0.0;
-                        window_phase = 0;
-                    }
-                }
-                if (!emit.empty())
-                    sunk = timed_consume(stats.outputs, emit);
-                stats.outputs += emit.size();
-            } else {
-                sunk = timed_consume(
-                    slot.chunk.firstCycle,
-                    std::span<const float>(slot.fsums.data(),
-                                           slot.rows));
-                stats.outputs += slot.rows;
-            }
+            Status sunk = pipe.emit(slots[s].sums, timed_sink);
             if (!sunk.ok()) {
                 if (sunk.code() == StatusCode::Cancelled)
                     stats.cancelled = true;
@@ -287,12 +347,13 @@ StreamingInference::run(ProxyChunkReader &reader, PowerSink &sink,
                     return sunk;
             }
         }
+        stats.outputs = pipe.outputs();
         stats.inferSeconds += secondsSince(t1);
 
         uint64_t held = 0;
         for (const Slot &slot : slots)
             held += slot.bufferBytes();
-        held += emit.capacity() * sizeof(float);
+        held += pipe.bufferBytes();
         stats.peakBufferBytes = std::max(stats.peakBufferBytes, held);
     }
 

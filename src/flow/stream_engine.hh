@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "core/apollo_model.hh"
+#include "opm/opm_simulator.hh"
 #include "opm/quantize.hh"
 #include "trace/stream_reader.hh"
 #include "util/status.hh"
@@ -186,6 +187,110 @@ class CsvPowerSink : public PowerSink
 
   private:
     std::ostream &os_;
+};
+
+/**
+ * One chunk's precomputed per-cycle sums — the output of the pure,
+ * thread-safe compute stage of the pipeline. Float engines fill
+ * fsums (weighted sums, no intercept in windowed mode; full
+ * prediction in per-cycle mode), the quantized engine fills isums
+ * (exact integer adder-tree sums including the intercept).
+ */
+struct ChunkSums
+{
+    size_t rows = 0;
+    uint64_t firstCycle = 0;
+    std::vector<float> fsums;
+    std::vector<int64_t> isums;
+
+    uint64_t
+    bufferBytes() const
+    {
+        return fsums.capacity() * sizeof(float) +
+               isums.capacity() * sizeof(int64_t);
+    }
+};
+
+/**
+ * The per-stream trace-to-power pipeline, split into its two stages so
+ * that one shared thread pool can multiplex many concurrent streams
+ * (src/serve/session_manager.hh) over the exact same arithmetic the
+ * one-stream StreamingInference engine runs:
+ *
+ *  - computeSums() is a pure function of one chunk (no pipeline state
+ *    touched), safe to evaluate for many chunks / many pipelines in
+ *    parallel;
+ *  - emit() replays precomputed sums *in cycle order* through the
+ *    sequential window/OPM state and delivers samples to a sink.
+ *
+ * Because all carried state (window accumulator + phase, OPM
+ * accumulator) lives here and nowhere else, a stream's output depends
+ * only on its own chunk sequence — which is what makes K concurrent
+ * serving sessions bit-identical to K sequential runs at any thread
+ * count. The referenced models are kept by pointer, so every stream
+ * over one registry entry shares the same immutable weights (the
+ * quantized pipeline's OpmSimulator additionally carries its own
+ * small fixed-point copy as part of the accumulator state). Callers
+ * guarantee the model outlives the pipeline.
+ */
+class StreamPipeline
+{
+  public:
+    /**
+     * Float-weight pipeline: per-cycle output, or Eq. (9) windows when
+     * @p window_T > 0 (power of two, validated by the callers).
+     */
+    explicit StreamPipeline(const ApolloModel &model,
+                            uint32_t window_T = 0);
+
+    /** Quantized bit-true OPM pipeline (one sample per T-cycle window). */
+    StreamPipeline(const QuantizedModel &model, uint32_t T);
+
+    bool quantized() const { return qmodel_ != nullptr; }
+    size_t proxyCount() const;
+    uint32_t windowT() const { return windowT_; }
+
+    /** Cycles consumed and samples emitted so far (across chunks). */
+    uint64_t cycles() const { return cycles_; }
+    uint64_t outputs() const { return outputs_; }
+
+    /**
+     * Stage 1 (pure): per-cycle sums of rows [0, rows) of @p bits into
+     * @p out. Does not read or write pipeline state, so concurrent
+     * calls on one pipeline are safe.
+     */
+    void computeSums(const BitColumnMatrix &bits, size_t rows,
+                     ChunkSums &out) const;
+
+    /**
+     * Stage 2 (sequential): advance the window/OPM state through
+     * @p sums and deliver completed samples to @p sink. Chunks must be
+     * emitted in cycle order. Returns the sink's status; on
+     * StatusCode::Cancelled the partial-window state is RESET so a
+     * later stream over a reused pipeline cannot inherit it.
+     */
+    Status emit(const ChunkSums &sums, PowerSink &sink);
+
+    /** Drop all carried state (fresh-stream condition, counters zeroed). */
+    void reset();
+
+    /** Engine-owned staging bytes (peak-buffer accounting). */
+    uint64_t
+    bufferBytes() const
+    {
+        return staging_.capacity() * sizeof(float);
+    }
+
+  private:
+    const ApolloModel *model_ = nullptr;
+    const QuantizedModel *qmodel_ = nullptr;
+    uint32_t windowT_ = 0;
+    std::optional<OpmSimulator> sim_;
+    double windowAcc_ = 0.0;
+    uint32_t windowPhase_ = 0;
+    uint64_t cycles_ = 0;
+    uint64_t outputs_ = 0;
+    std::vector<float> staging_;
 };
 
 /** Accounting for one streaming run. */

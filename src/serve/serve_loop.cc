@@ -1,0 +1,207 @@
+#include "serve/serve_loop.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "flow/stream_engine.hh"
+#include "serve/wire.hh"
+
+namespace apollo::serve {
+
+namespace {
+
+/** One live wire session: manager handle + sink + optional record. */
+struct LiveSession
+{
+    SessionId id;
+    std::unique_ptr<PowerSink> sink;
+    std::unique_ptr<std::ofstream> record;
+    uint64_t order = 0; ///< creation order (EOF auto-close order)
+};
+
+} // namespace
+
+StatusOr<ServeLoopReport>
+runServeLoop(std::shared_ptr<const ModelRegistry> registry,
+             std::istream &in, std::ostream &out,
+             const ServeLoopOptions &options)
+{
+    if (Status st = options.config.validate(); !st.ok())
+        return st;
+    if (!options.recordDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(options.recordDir, ec);
+        if (ec)
+            return Status::ioError("cannot create record directory '",
+                                   options.recordDir,
+                                   "': ", ec.message());
+    }
+
+    SessionManager manager(registry, options.config);
+    ServeLoopReport report;
+
+    // Power events land from worker threads; every write to the shared
+    // output stream goes through this mutex.
+    std::mutex out_mu;
+    auto respond = [&](const std::string &line) {
+        std::lock_guard<std::mutex> lock(out_mu);
+        out << line;
+    };
+    auto respondError = [&](const std::string &session,
+                            const Status &status) {
+        report.errors++;
+        respond(encodeError(session, status));
+    };
+
+    std::map<std::string, LiveSession> live;
+    uint64_t created = 0;
+
+    // Shared close path for explicit close_session and EOF auto-close.
+    auto closeLive = [&](const std::string &name, LiveSession &session) {
+        StatusOr<SessionSummary> summary =
+            manager.closeSession(session.id);
+        if (!summary.ok())
+            respondError(name, summary.status());
+        else
+            respond(encodeSessionClosed(name, *summary));
+    };
+
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        report.requests++;
+        StatusOr<WireRequest> parsed = parseRequestLine(line);
+        if (!parsed.ok()) {
+            respondError("", parsed.status());
+            continue;
+        }
+        WireRequest &request = *parsed;
+
+        if (request.op == RequestOp::ListModels) {
+            std::vector<ModelInfo> models = manager.listModels();
+            respond(encodeModels(models));
+            continue;
+        }
+
+        auto it = live.find(request.session);
+        if (request.op == RequestOp::CreateSession) {
+            if (it != live.end()) {
+                respondError(request.session,
+                             Status::invalidArgument(
+                                 "session '", request.session,
+                                 "' already exists"));
+                continue;
+            }
+            LiveSession session;
+            session.order = created;
+            // The sink runs on worker threads; it captures the shared
+            // output lock and the wire session name.
+            const std::string name = request.session;
+            session.sink = std::make_unique<CallbackSink>(
+                [&, name](uint64_t first_index,
+                          std::span<const float> values) {
+                    respond(encodePowerEvent(name, first_index, values));
+                    return Status::okStatus();
+                });
+            StatusOr<SessionId> id = manager.createSession(
+                SessionOptions{request.model, request.windowT},
+                session.sink.get());
+            if (!id.ok()) {
+                respondError(request.session, id.status());
+                continue;
+            }
+            session.id = *id;
+            if (!options.recordDir.empty()) {
+                const std::filesystem::path path =
+                    std::filesystem::path(options.recordDir) /
+                    (request.session + ".ndjson");
+                session.record =
+                    std::make_unique<std::ofstream>(path);
+                if (!*session.record) {
+                    // Infrastructure failure: a requested recording
+                    // that cannot happen must not pass silently.
+                    (void)manager.closeSession(session.id);
+                    return Status::ioError(
+                        "cannot open record file ", path.string());
+                }
+                *session.record << encodeRequest(request);
+            }
+            created++;
+            report.sessionsCreated++;
+            respond(encodeSessionCreated(request.session, request.model));
+            live.emplace(request.session, std::move(session));
+            continue;
+        }
+
+        if (it == live.end()) {
+            respondError(request.session,
+                         Status::invalidArgument("unknown session '",
+                                                 request.session, "'"));
+            continue;
+        }
+        LiveSession &session = it->second;
+        if (session.record)
+            *session.record << encodeRequest(request);
+
+        switch (request.op) {
+        case RequestOp::SubmitChunk: {
+            report.chunks++;
+            Status st = manager.submitChunk(session.id,
+                                            std::move(request.bits));
+            if (!st.ok())
+                respondError(request.session, st);
+            break;
+        }
+        case RequestOp::CancelSession: {
+            Status st = manager.cancelSession(session.id);
+            if (!st.ok())
+                respondError(request.session, st);
+            else
+                respond(encodeSessionCancelled(request.session));
+            break;
+        }
+        case RequestOp::CloseSession: {
+            closeLive(request.session, session);
+            live.erase(it);
+            break;
+        }
+        default:
+            break; // handled above
+        }
+    }
+
+    // EOF: close whatever is still open, in creation order, and record
+    // the implied close so record files replay standalone.
+    std::vector<std::pair<uint64_t, std::string>> open;
+    open.reserve(live.size());
+    for (const auto &[name, session] : live)
+        open.emplace_back(session.order, name);
+    std::sort(open.begin(), open.end());
+    for (const auto &[order, name] : open) {
+        (void)order;
+        LiveSession &session = live.at(name);
+        if (session.record) {
+            WireRequest close;
+            close.op = RequestOp::CloseSession;
+            close.session = name;
+            *session.record << encodeRequest(close);
+        }
+        closeLive(name, session);
+        report.autoClosed++;
+    }
+    live.clear();
+
+    out.flush();
+    if (!out)
+        return Status::ioError("serve output stream failed");
+    return report;
+}
+
+} // namespace apollo::serve

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The line-delimited serving front end: reads wire requests
+ * (serve/wire.hh) from an input stream, drives a SessionManager, and
+ * writes wire responses to an output stream. This is what
+ * `apollo_cli serve` runs over stdin/stdout or files, and what the
+ * record/replay machinery is built on:
+ *
+ *  - with a record directory set, every request of session S is
+ *    appended verbatim (canonically re-encoded) to <dir>/<S>.ndjson,
+ *    and an EOF-time auto-close is recorded too, so each record file
+ *    is a standalone request stream;
+ *  - replaying a record file through runServeLoop() again reproduces
+ *    the session's power samples bit-identically (samples are printed
+ *    with "%.9g", which round-trips IEEE-754 floats).
+ *
+ * Response ordering: each session's responses form a deterministic
+ * subsequence (session_created, power events in index order, then
+ * session_closed); the interleaving BETWEEN concurrent sessions is
+ * scheduling-dependent. Consumers — and the replay comparator — must
+ * group by the "session" field.
+ *
+ * Request-level failures (unknown model, bad payload, stale session)
+ * become "error" response lines and the loop keeps serving; only
+ * infrastructure failures (unwritable record file, broken output
+ * stream) abort the loop with a non-ok Status.
+ */
+
+#ifndef APOLLO_SERVE_SERVE_LOOP_HH
+#define APOLLO_SERVE_SERVE_LOOP_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "serve/model_registry.hh"
+#include "serve/session_manager.hh"
+#include "util/status.hh"
+
+namespace apollo::serve {
+
+/** Knobs for one serve-loop run. */
+struct ServeLoopOptions
+{
+    ServeConfig config;
+    /**
+     * When non-empty, record every session's request stream to
+     * <recordDir>/<session>.ndjson (directory is created; session
+     * names are wire-validated, so the paths are safe).
+     */
+    std::string recordDir;
+};
+
+/** Accounting for one serve-loop run. */
+struct ServeLoopReport
+{
+    uint64_t requests = 0;
+    uint64_t sessionsCreated = 0;
+    uint64_t chunks = 0;
+    uint64_t errors = 0;
+    /** Sessions still open at EOF that the loop auto-closed. */
+    uint64_t autoClosed = 0;
+};
+
+/**
+ * Pump @p in to exhaustion. Responses (including per-chunk power
+ * events, which arrive from worker threads) are serialized onto
+ * @p out. Sessions still open at EOF are closed as if a
+ * close_session request had arrived, in creation order.
+ */
+StatusOr<ServeLoopReport>
+runServeLoop(std::shared_ptr<const ModelRegistry> registry,
+             std::istream &in, std::ostream &out,
+             const ServeLoopOptions &options = {});
+
+} // namespace apollo::serve
+
+#endif // APOLLO_SERVE_SERVE_LOOP_HH

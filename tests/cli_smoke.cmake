@@ -23,8 +23,39 @@ run_step(trace --model model.txt --design tiny --cycles 5000
          --out trace.csv --metrics-json metrics.json
          --trace-out spans.json)
 
+# The serving path: generate a deterministic request stream, serve it
+# with per-session recording, then replay one record file — the
+# replayed power lines must be byte-identical to the live run's.
+run_step(serve-gen --model model.txt --name default --sessions 2
+         --chunks 3 --cycles-per-chunk 300 --seed 5
+         --out serve_requests.ndjson)
+run_step(serve --model model.txt --bits 10 --in serve_requests.ndjson
+         --out serve_live.ndjson --record serve_rec --threads 2
+         --metrics-json serve_metrics.json)
+run_step(serve --model model.txt --replay serve_rec/s0.ndjson
+         --out serve_replay.ndjson)
+
+file(READ ${WORK_DIR}/serve_live.ndjson serve_live)
+file(READ ${WORK_DIR}/serve_replay.ndjson serve_replay)
+string(REGEX MATCHALL "[^\n]*\"session\":\"s0\"[^\n]*\"first_index\"[^\n]*"
+       live_s0 "${serve_live}")
+string(REGEX MATCHALL "[^\n]*\"session\":\"s0\"[^\n]*\"first_index\"[^\n]*"
+       replay_s0 "${serve_replay}")
+if(NOT live_s0)
+    message(FATAL_ERROR "serve produced no power events for s0")
+endif()
+if(NOT "${live_s0}" STREQUAL "${replay_s0}")
+    message(FATAL_ERROR "serve replay diverged from the live run")
+endif()
+file(READ ${WORK_DIR}/serve_metrics.json serve_metrics)
+if(NOT serve_metrics MATCHES "apollo\\.serve\\.sessions")
+    message(FATAL_ERROR "serve metrics snapshot lacks serve counters")
+endif()
+
 foreach(artifact train.apds test.apds model.txt opm.hh trace.csv
-        opm_metrics.json metrics.json spans.json)
+        opm_metrics.json metrics.json spans.json
+        serve_requests.ndjson serve_live.ndjson serve_replay.ndjson
+        serve_metrics.json serve_rec/s0.ndjson serve_rec/s1.ndjson)
     if(NOT EXISTS ${WORK_DIR}/${artifact})
         message(FATAL_ERROR "missing artifact: ${artifact}")
     endif()

@@ -18,10 +18,9 @@
 #include <cstdio>
 #include <limits>
 
+#include "apollo.hh"
+
 #include "activity/toggle_columns.hh"
-#include "core/apollo_model.hh"
-#include "core/multi_cycle.hh"
-#include "flow/stream_engine.hh"
 #include "gen/fitness_eval.hh"
 #include "harness/case_gen.hh"
 #include "ml/coordinate_descent.hh"

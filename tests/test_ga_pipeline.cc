@@ -12,11 +12,8 @@
 
 #include <sstream>
 
-#include "flow/flows.hh"
-#include "gen/ga_generator.hh"
-#include "rtl/design_builder.hh"
-#include "trace/dataset_io.hh"
-#include "trace/toggle_trace.hh"
+#include "apollo.hh"
+
 #include "util/hash_kernels.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"

@@ -10,12 +10,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/apollo_trainer.hh"
-#include "droop/droop.hh"
-#include "flow/flows.hh"
-#include "gen/ga_generator.hh"
-#include "ml/metrics.hh"
-#include "rtl/design_builder.hh"
+#include "apollo.hh"
 
 namespace apollo {
 namespace {

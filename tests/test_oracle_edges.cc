@@ -14,14 +14,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/apollo_model.hh"
-#include "core/multi_cycle.hh"
-#include "flow/stream_engine.hh"
-#include "ml/coordinate_descent.hh"
-#include "ml/feature_view.hh"
-#include "ml/solver_path.hh"
-#include "opm/opm_simulator.hh"
-#include "opm/quantize.hh"
+#include "apollo.hh"
 #include "trace/dataset_io.hh"
 #include "ref/reference_kernels.hh"
 #include "trace/stream_reader.hh"

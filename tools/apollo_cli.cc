@@ -12,6 +12,10 @@
  *                    [--window 32] [--emit opm.hh]
  *   apollo trace     --model model.txt --design n1ish --cycles 1000000
  *                    [--out trace.csv]
+ *   apollo serve     --model model.txt [--bits 10] [--in reqs.ndjson]
+ *                    [--record dir] [--replay dir/s0.ndjson]
+ *   apollo serve-gen --model model.txt --sessions 4 --chunks 8
+ *                    --out reqs.ndjson
  *
  * Run `apollo help` for the full usage text.
  */
@@ -20,7 +24,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "apollo.hh"
@@ -281,6 +287,147 @@ cmdTrace(const Args &args)
     return 0;
 }
 
+int
+cmdServe(const Args &args)
+{
+    const std::string model_path = args.get("model");
+    APOLLO_REQUIRE(!model_path.empty(), "serve needs --model FILE");
+    std::ifstream is(model_path);
+    APOLLO_REQUIRE(is.is_open(), "cannot open model file ", model_path);
+    const ApolloModel model = ApolloModel::load(is);
+
+    const std::string name = args.get("name", "default");
+    const auto bits = static_cast<uint32_t>(args.getInt("bits", 0));
+    const auto window =
+        static_cast<uint32_t>(args.getInt("window", 32));
+
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    registry->addFloat(name, model).orFatal();
+    if (bits > 0) {
+        // A quantized OPM variant rides along under "<name>_q<bits>",
+        // sharing the float entry's weights.
+        registry->addQuantizedVariant(name + "_q" + std::to_string(bits),
+                                      name, bits, window)
+            .status()
+            .orFatal();
+    }
+
+    serve::ServeLoopOptions options;
+    options.config.threads =
+        static_cast<size_t>(args.getInt("threads", 0));
+    options.config.maxSessions =
+        static_cast<size_t>(args.getInt("max-sessions", 64));
+    options.config.maxQueuedChunks =
+        static_cast<size_t>(args.getInt("max-queue", 4));
+    options.recordDir = args.get("record");
+
+    // --replay FILE is sugar for --in FILE: a record file IS a request
+    // stream, so replaying is just serving it again.
+    std::string in_path = args.get("replay");
+    if (in_path.empty())
+        in_path = args.get("in");
+    const std::string out_path = args.get("out");
+
+    std::ifstream fin;
+    if (!in_path.empty()) {
+        fin.open(in_path);
+        APOLLO_REQUIRE(fin.is_open(), "cannot open request stream ",
+                       in_path);
+    }
+    std::ofstream fout;
+    if (!out_path.empty()) {
+        fout.open(out_path);
+        APOLLO_REQUIRE(fout.is_open(), "cannot open output file ",
+                       out_path);
+    }
+    std::istream &in = in_path.empty() ? std::cin : fin;
+    std::ostream &out = out_path.empty() ? std::cout : fout;
+
+    StatusOr<serve::ServeLoopReport> report =
+        serve::runServeLoop(registry, in, out, options);
+    if (!report.ok())
+        fatal(report.status().toString());
+    std::fprintf(stderr,
+                 "served %llu requests: %llu sessions, %llu chunks, "
+                 "%llu errors, %llu auto-closed at EOF\n",
+                 static_cast<unsigned long long>(report->requests),
+                 static_cast<unsigned long long>(report->sessionsCreated),
+                 static_cast<unsigned long long>(report->chunks),
+                 static_cast<unsigned long long>(report->errors),
+                 static_cast<unsigned long long>(report->autoClosed));
+    return report->errors == 0 ? 0 : 1;
+}
+
+int
+cmdServeGen(const Args &args)
+{
+    const std::string model_path = args.get("model");
+    APOLLO_REQUIRE(!model_path.empty(), "serve-gen needs --model FILE");
+    std::ifstream is(model_path);
+    APOLLO_REQUIRE(is.is_open(), "cannot open model file ", model_path);
+    const ApolloModel model = ApolloModel::load(is);
+    const size_t q = model.proxyCount();
+
+    const std::string name = args.get("name", "default");
+    const auto sessions =
+        static_cast<size_t>(args.getInt("sessions", 4));
+    const auto chunks = static_cast<size_t>(args.getInt("chunks", 8));
+    const auto rows =
+        static_cast<size_t>(args.getInt("cycles-per-chunk", 4096));
+    const auto window =
+        static_cast<uint32_t>(args.getInt("window", 0));
+    const auto seed = static_cast<uint64_t>(args.getInt("seed", 1));
+    const std::string out_path = args.get("out", "serve_requests.ndjson");
+    APOLLO_REQUIRE(sessions > 0 && chunks > 0 && rows > 0,
+                   "sessions/chunks/cycles-per-chunk must be positive");
+
+    std::ofstream os(out_path);
+    APOLLO_REQUIRE(os.is_open(), "cannot open ", out_path);
+
+    for (size_t s = 0; s < sessions; ++s) {
+        serve::WireRequest req;
+        req.op = serve::RequestOp::CreateSession;
+        req.session = "s" + std::to_string(s);
+        req.model = name;
+        req.windowT = window;
+        os << serve::encodeRequest(req);
+    }
+    // Interleave chunk submissions round-robin across the sessions so
+    // the request stream itself exercises concurrent multiplexing.
+    const uint64_t tail_mask =
+        (rows % 64 == 0) ? ~uint64_t{0}
+                         : ((uint64_t{1} << (rows % 64)) - 1);
+    for (size_t c = 0; c < chunks; ++c) {
+        for (size_t s = 0; s < sessions; ++s) {
+            Xoshiro256StarStar rng(seed + 1000003 * s + c);
+            serve::WireRequest req;
+            req.op = serve::RequestOp::SubmitChunk;
+            req.session = "s" + std::to_string(s);
+            req.bits.reset(rows, q);
+            for (size_t col = 0; col < q; ++col) {
+                uint64_t *words = req.bits.colWordsMutable(col);
+                const size_t wpc = req.bits.wordsPerCol();
+                for (size_t w = 0; w < wpc; ++w)
+                    words[w] = rng() & rng(); // ~25% toggle density
+                words[wpc - 1] &= tail_mask;
+            }
+            os << serve::encodeRequest(req);
+        }
+    }
+    for (size_t s = 0; s < sessions; ++s) {
+        serve::WireRequest req;
+        req.op = serve::RequestOp::CloseSession;
+        req.session = "s" + std::to_string(s);
+        os << serve::encodeRequest(req);
+    }
+    APOLLO_REQUIRE(static_cast<bool>(os), "write to ", out_path,
+                   " failed");
+    std::printf("wrote %zu sessions x %zu chunks x %zu cycles (Q=%zu) "
+                "to %s\n",
+                sessions, chunks, rows, q, out_path.c_str());
+    return 0;
+}
+
 void
 usage()
 {
@@ -297,6 +444,14 @@ usage()
         "           [--bits B] [--window T] [--emit F]\n"
         "  trace    --model F --design D        emulator-assisted flow\n"
         "           [--cycles N] [--out F]\n"
+        "  serve    --model F [--name N]        serve the v1 wire API\n"
+        "           [--bits B] [--window T]     (docs/SERVE_SCHEMA.md)\n"
+        "           [--in F | --replay F] [--out F] [--record DIR]\n"
+        "           [--threads K] [--max-sessions S] [--max-queue Q]\n"
+        "  serve-gen --model F [--name N]       deterministic request\n"
+        "           [--sessions S] [--chunks C] stream generator\n"
+        "           [--cycles-per-chunk R] [--window T] [--seed X]\n"
+        "           [--out F]\n"
         "designs: tiny | n1ish | a77ish\n\n"
         "global flags (any subcommand):\n"
         "  --metrics-json F   write a metrics-registry snapshot (JSON)\n"
@@ -340,6 +495,10 @@ main(int argc, char **argv)
             rc = cmdOpm(args);
         else if (cmd == "trace")
             rc = cmdTrace(args);
+        else if (cmd == "serve")
+            rc = cmdServe(args);
+        else if (cmd == "serve-gen")
+            rc = cmdServeGen(args);
         else {
             std::fprintf(stderr, "unknown subcommand '%s'\n",
                          cmd.c_str());

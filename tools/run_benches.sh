@@ -3,6 +3,7 @@
 #   BENCH_solver.json  — MCP solver fast-path layers
 #   BENCH_stream.json  — streaming pipeline vs batch (throughput + RSS)
 #   BENCH_ga.json      — GA training-data pipeline layers
+#   BENCH_serve.json   — multi-session serving grid (sessions x threads)
 # Usage: tools/run_benches.sh [--smoke] [extra bench args...]
 #
 # Environment:
@@ -25,7 +26,8 @@ fi
 
 cmake -B "$BUILD_DIR" -S . "${cmake_flags[@]}"
 cmake --build "$BUILD_DIR" -j --target bench_perf_solver \
-    --target bench_stream_infer --target bench_perf_ga
+    --target bench_stream_infer --target bench_perf_ga \
+    --target bench_obs_overhead --target bench_serve
 
 "$BUILD_DIR"/bench/bench_perf_solver --out=BENCH_solver.json "$@"
 echo "BENCH_solver.json updated"
@@ -38,6 +40,9 @@ echo "BENCH_ga.json updated"
 
 "$BUILD_DIR"/bench/bench_obs_overhead --out=BENCH_obs_overhead.json "$@"
 echo "BENCH_obs_overhead.json updated"
+
+"$BUILD_DIR"/bench/bench_serve --out=BENCH_serve.json "$@"
+echo "BENCH_serve.json updated"
 
 # Cross-check the compiled-out configuration: the same hot paths must
 # build and run with every APOLLO_COUNT/SPAN macro expanded to nothing.

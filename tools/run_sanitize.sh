@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
-# Build with ASan+UBSan and run the test suite (default: the streaming
-# pipeline suites, which exercise the chunked readers, the parallel
-# engine, and the Status error paths end to end).
+# Build under a sanitizer and run the test suite (default: the
+# streaming + serving suites, which exercise the chunked readers, the
+# parallel engine, the multi-session manager, and the Status error
+# paths end to end).
 #
 # Usage: tools/run_sanitize.sh [ctest args...]
-#   tools/run_sanitize.sh                 # streaming suites only
+#   tools/run_sanitize.sh                 # default suites
 #   tools/run_sanitize.sh -R '.*'         # everything under sanitizers
+#   SANITIZER=tsan tools/run_sanitize.sh  # ThreadSanitizer instead
 #
 # Environment:
-#   BUILD_DIR   sanitizer build tree (default: build-asan)
+#   SANITIZER   asan (default: ASan+UBSan, tree build-asan) or tsan
+#               (ThreadSanitizer, tree build-tsan). The tsan run is
+#               what validates the serving layer's locking: the
+#               multi-session determinism suite drives 8 sessions
+#               over pools of 1/2/8 workers under it.
+#   BUILD_DIR   sanitizer build tree (default: build-${SANITIZER})
 #   APOLLO_OBS=OFF  sanitize the compiled-out observability
 #               configuration instead (tree: ${BUILD_DIR}-obs-off),
 #               proving the instrumented hot paths are clean in both
@@ -16,7 +23,14 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR=${BUILD_DIR:-build-asan}
+SANITIZER=${SANITIZER:-asan}
+case "$SANITIZER" in
+    asan) san_flags=(-DAPOLLO_SANITIZE=ON) ;;
+    tsan) san_flags=(-DAPOLLO_TSAN=ON) ;;
+    *) echo "unknown SANITIZER '$SANITIZER' (want asan or tsan)" >&2
+       exit 2 ;;
+esac
+BUILD_DIR=${BUILD_DIR:-build-${SANITIZER}}
 
 obs_flags=()
 if [[ "${APOLLO_OBS:-ON}" == "OFF" ]]; then
@@ -24,19 +38,24 @@ if [[ "${APOLLO_OBS:-ON}" == "OFF" ]]; then
     obs_flags+=(-DAPOLLO_OBS=OFF)
 fi
 
-cmake -B "$BUILD_DIR" -S . -DAPOLLO_SANITIZE=ON "${obs_flags[@]}"
+cmake -B "$BUILD_DIR" -S . "${san_flags[@]}" "${obs_flags[@]}"
 cmake --build "$BUILD_DIR" -j --target apollo_tests \
     --target apollo_oracle_tests \
     --target fuzz_aptr --target fuzz_vcd --target fuzz_dataset
 
 if [[ $# -gt 0 ]]; then
     ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
+elif [[ "$SANITIZER" == "tsan" ]]; then
+    # TSan focuses on the threaded paths: the serving layer, the
+    # parallel streaming engine, and the threaded GA pipeline.
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -R \
+        'ServeRegistry|ServeSessions|ServeDeterminism|ServeBackpressure|ServeCancel|ServeWire|ServeLoop|StreamInfer|StreamSinks|GaPipeline'
 else
-    # Streaming suites plus the differential-oracle layer (label
-    # "oracle": every production path vs its reference under
+    # Streaming + serving suites plus the differential-oracle layer
+    # (label "oracle": every production path vs its reference under
     # ASan+UBSan) and the corpus-replay fuzz drivers (label "fuzz").
     ctest --test-dir "$BUILD_DIR" --output-on-failure -R \
-        'SliceRows|StreamInfer|StreamSinks|ProxyTraceFormat|VcdStreaming|LoaderStatus|PublicApi|EmulatorFlow|OracleEdges|OracleRegression|AptrStatus|VcdStatus|DatasetStatus|GaPipeline|GaConfigValidate|GenerateTrainingSet|HashKernels|DatasetBuilderAddFrames|MetricRegistry|TraceCollector|ObsEndToEnd|Droop|MultiCycle|Quantize'
+        'SliceRows|StreamInfer|StreamSinks|ProxyTraceFormat|VcdStreaming|LoaderStatus|PublicApi|EmulatorFlow|OracleEdges|OracleRegression|AptrStatus|VcdStatus|DatasetStatus|GaPipeline|GaConfigValidate|GenerateTrainingSet|HashKernels|DatasetBuilderAddFrames|MetricRegistry|TraceCollector|ObsEndToEnd|Droop|MultiCycle|Quantize|ServeRegistry|ServeSessions|ServeDeterminism|ServeBackpressure|ServeCancel|ServeWire|ServeLoop'
     ctest --test-dir "$BUILD_DIR" --output-on-failure -L 'oracle|fuzz'
 fi
-echo "sanitizer run clean"
+echo "sanitizer run clean (${SANITIZER})"
