@@ -43,7 +43,6 @@ runServeLoop(std::shared_ptr<const ModelRegistry> registry,
                                    "': ", ec.message());
     }
 
-    SessionManager manager(registry, options.config);
     ServeLoopReport report;
 
     // Power events land from worker threads; every write to the shared
@@ -61,6 +60,13 @@ runServeLoop(std::shared_ptr<const ModelRegistry> registry,
 
     std::map<std::string, LiveSession> live;
     uint64_t created = 0;
+
+    // Declared after out_mu/live so it is destroyed FIRST: its worker
+    // threads call into the CallbackSinks owned by `live` and take
+    // out_mu, so on every exit path the manager must be torn down
+    // while both are still alive.
+    SessionManager manager(registry, options.config);
+    Status fatal = Status::okStatus();
 
     // Shared close path for explicit close_session and EOF auto-close.
     auto closeLive = [&](const std::string &name, LiveSession &session) {
@@ -126,10 +132,15 @@ runServeLoop(std::shared_ptr<const ModelRegistry> registry,
                     std::make_unique<std::ofstream>(path);
                 if (!*session.record) {
                     // Infrastructure failure: a requested recording
-                    // that cannot happen must not pass silently.
+                    // that cannot happen must not pass silently. Stop
+                    // reading requests, but fall through the shared
+                    // EOF drain below so every other live session is
+                    // still closed (the manager must not be torn down
+                    // with sessions mid-flight).
                     (void)manager.closeSession(session.id);
-                    return Status::ioError(
+                    fatal = Status::ioError(
                         "cannot open record file ", path.string());
+                    break;
                 }
                 *session.record << encodeRequest(request);
             }
@@ -177,8 +188,9 @@ runServeLoop(std::shared_ptr<const ModelRegistry> registry,
         }
     }
 
-    // EOF: close whatever is still open, in creation order, and record
-    // the implied close so record files replay standalone.
+    // EOF (or a fatal request-loop error): close whatever is still
+    // open, in creation order, and record the implied close so record
+    // files replay standalone.
     std::vector<std::pair<uint64_t, std::string>> open;
     open.reserve(live.size());
     for (const auto &[name, session] : live)
@@ -199,6 +211,8 @@ runServeLoop(std::shared_ptr<const ModelRegistry> registry,
     live.clear();
 
     out.flush();
+    if (!fatal.ok())
+        return fatal;
     if (!out)
         return Status::ioError("serve output stream failed");
     return report;

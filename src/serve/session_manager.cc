@@ -163,6 +163,12 @@ SessionManager::submitChunk(SessionId id, BitColumnMatrix bits)
             session->entry->proxyCount());
     bool stalled = false;
     for (;;) {
+        // Re-checked after EVERY wake: a producer parked on
+        // backpressure can sleep across cancel+close (and even the
+        // slot's re-tenanting); it must never enqueue into a freed
+        // slot or the next tenant.
+        if (!session->open || session->generation != generation)
+            return Status::invalidArgument("stale session id");
         if (session->cancelled)
             return Status::cancelled("session cancelled");
         if (!session->sinkError.ok())
@@ -279,10 +285,10 @@ SessionManager::closeSession(SessionId id)
 
     // Free the slot: bump the generation so the old id goes stale, and
     // destroy the pipeline so no window/OPM state survives into the
-    // slot's next tenant.
+    // slot's next tenant. closing/cancelled stay sticky until
+    // createSession re-tenants the slot, so a late backpressure waker
+    // always sees closed-or-closing state, never a fresh-looking slot.
     session->open = false;
-    session->closing = false;
-    session->cancelled = false;
     session->generation++;
     session->pipe.reset();
     session->entry.reset();

@@ -300,13 +300,25 @@ encodeBitsHex(const BitColumnMatrix &bits)
 StatusOr<BitColumnMatrix>
 decodeBitsHex(std::string_view hex, size_t rows, size_t cols)
 {
-    BitColumnMatrix bits(rows, cols);
-    const size_t wpc = bits.wordsPerCol();
-    const size_t words = wpc * cols;
-    if (hex.size() != words * 16)
+    // Validate the declared size BEFORE allocating: rows/cols come
+    // from the untrusted peer, and BitColumnMatrix(rows, cols)
+    // eagerly reserves wordsPerCol*cols words — within the protocol
+    // bounds alone that is still a multi-terabyte request. Only a
+    // payload whose length matches (so the allocation is bounded by
+    // bytes actually on the wire) may drive the allocation.
+    const uint64_t wpc =
+        static_cast<uint64_t>(rows) / 64 + (rows % 64 != 0 ? 1 : 0);
+    uint64_t words = 0;
+    if ((cols != 0 && wpc > UINT64_MAX / cols) ||
+        (words = wpc * cols) > UINT64_MAX / 16)
+        return Status::parseError("bits payload size for ", rows, "x",
+                                  cols, " overflows");
+    const uint64_t expected = words * 16;
+    if (hex.size() != expected)
         return Status::parseError("bits payload is ", hex.size(),
                                   " hex digits, ", rows, "x", cols,
-                                  " needs ", words * 16);
+                                  " needs ", expected);
+    BitColumnMatrix bits(rows, cols);
     // Bits past rows-1 in each column's last word must be zero — the
     // compute kernels' zero-tail contract.
     const uint64_t tail_mask =

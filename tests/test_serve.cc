@@ -412,6 +412,80 @@ TEST(ServeBackpressure, SubmitBlocksOnFullQueueAndRecovers)
     EXPECT_GE(manager.stats().backpressureStalls, 1u);
 }
 
+TEST(ServeBackpressure, LateWakerCannotReachClosedOrReusedSlot)
+{
+    // Regression: a producer parked in submitChunk's backpressure
+    // wait must re-validate the session after every wake. Cancel +
+    // close (and even re-tenanting of the slot) can all happen while
+    // it sleeps; a late waker that trusted its pre-sleep checks would
+    // enqueue into a freed slot (null pipeline) or inject its chunk
+    // into the slot's next tenant.
+    const size_t q = 8;
+    const ApolloModel model = randomModel(q, 0xD1);
+    auto reg = std::make_shared<ModelRegistry>();
+    ASSERT_TRUE(reg->addFloat("f", model).ok());
+    SessionManager manager(
+        std::static_pointer_cast<const ModelRegistry>(reg),
+        ServeConfig().withThreads(1).withMaxSessions(1).withMaxQueuedChunks(
+            1));
+
+    const BitColumnMatrix chunk = randomMatrix(64, q, 0xD2);
+    const BitColumnMatrix trace = randomMatrix(256, q, 0xD3);
+    const StreamingInference engine(model);
+    const std::vector<float> expected =
+        sequentialReference(engine, trace, StreamConfig());
+
+    for (int iter = 0; iter < 32; ++iter) {
+        GateSink gate;
+        StatusOr<SessionId> id =
+            manager.createSession(SessionOptions{"f", 0}, &gate);
+        ASSERT_TRUE(id.ok()) << id.status().toString();
+        // Chunk 1 parks in the gated sink, chunk 2 fills the queue.
+        ASSERT_TRUE(manager.submitChunk(*id, chunk).ok());
+        while (gate.consumed() == 0)
+            std::this_thread::yield();
+        ASSERT_TRUE(manager.submitChunk(*id, chunk).ok());
+
+        const uint64_t stalls = manager.stats().backpressureStalls;
+        std::thread producer([&, id, iter] {
+            Status st = manager.submitChunk(*id, chunk);
+            // The session is cancelled, closed, and its slot reused
+            // underneath the blocked producer: the only acceptable
+            // outcomes are Cancelled or a stale-id rejection.
+            EXPECT_FALSE(st.ok()) << "iteration " << iter;
+            EXPECT_TRUE(st.code() == StatusCode::Cancelled ||
+                        st.code() == StatusCode::InvalidArgument)
+                << st.toString();
+        });
+        while (manager.stats().backpressureStalls == stalls)
+            std::this_thread::yield();
+
+        ASSERT_TRUE(manager.cancelSession(*id).ok());
+        gate.open();
+        StatusOr<SessionSummary> closed = manager.closeSession(*id);
+        ASSERT_TRUE(closed.ok()) << closed.status().toString();
+
+        // Next tenant of the (sole) slot: its output must stay
+        // bit-identical to the sequential reference — a chunk injected
+        // by the old producer would skew it.
+        VectorSink sink;
+        StatusOr<SessionId> tenant =
+            manager.createSession(SessionOptions{"f", 0}, &sink);
+        ASSERT_TRUE(tenant.ok()) << tenant.status().toString();
+        for (BitColumnMatrix &piece : chunked(trace, 64))
+            ASSERT_TRUE(
+                manager.submitChunk(*tenant, std::move(piece)).ok());
+        StatusOr<SessionSummary> summary =
+            manager.closeSession(*tenant);
+        ASSERT_TRUE(summary.ok()) << summary.status().toString();
+        producer.join();
+        ASSERT_EQ(sink.values().size(), expected.size());
+        for (size_t i = 0; i < expected.size(); ++i)
+            ASSERT_EQ(sink.values()[i], expected[i])
+                << "iteration " << iter << " sample " << i;
+    }
+}
+
 // ---------------------------------------------------------------------
 // Cancellation + the partial-window slot-reuse regression
 // ---------------------------------------------------------------------
@@ -704,6 +778,17 @@ TEST(ServeWire, RejectsMalformedRequests)
             .status()
             .code(),
         StatusCode::ParseError);
+    // Maximal declared dims (2^32 cycles x 2^20 proxies would be a
+    // petabyte-scale matrix) with a tiny payload: must be rejected by
+    // the length check BEFORE any allocation sized from the dims.
+    EXPECT_EQ(
+        parseRequestLine(
+            "{\"schema_version\":1,\"op\":\"submit_chunk\","
+            "\"session\":\"s\",\"cycles\":4294967296,"
+            "\"proxies\":1048576,\"bits\":\"00\"}")
+            .status()
+            .code(),
+        StatusCode::ParseError);
 }
 
 TEST(ServeWire, BitsHexRoundTrip)
@@ -717,6 +802,13 @@ TEST(ServeWire, BitsHexRoundTrip)
             for (size_t r = 0; r < rows; ++r)
                 ASSERT_EQ(back->get(r, c), m.get(r, c));
     }
+    // Dims whose expected payload size overflows 64 bits must be
+    // rejected cleanly, not wrap around into a bogus small size.
+    EXPECT_EQ(serve::decodeBitsHex("00", size_t{1} << 40,
+                                   size_t{1} << 40)
+                  .status()
+                  .code(),
+              StatusCode::ParseError);
 }
 
 // ---------------------------------------------------------------------
@@ -873,6 +965,81 @@ TEST(ServeLoop, DrivesSessionsAndRecordsReplayableFiles)
             ASSERT_EQ(replayed[i], want[i])
                 << name << "[" << i << "]";
     }
+    std::filesystem::remove_all(record_dir);
+}
+
+TEST(ServeLoop, RecordOpenFailureStillDrainsOpenSessions)
+{
+    // Regression: the record-file-open error path used to return out
+    // of runServeLoop while other sessions were still open, tearing
+    // down the sinks and output mutex before the manager's workers
+    // stopped using them. The error must funnel through the shared
+    // EOF drain: every live session closed, then IoError returned.
+    const size_t q = 8;
+    const ApolloModel model = randomModel(q, 0xE1);
+    auto reg = std::make_shared<ModelRegistry>();
+    ASSERT_TRUE(reg->addFloat("f", model).ok());
+
+    const std::filesystem::path record_dir =
+        std::filesystem::temp_directory_path() /
+        "apollo_serve_test_badrec";
+    std::filesystem::remove_all(record_dir);
+    // A directory squatting on session "b"'s record path makes its
+    // ofstream open fail while "a" has chunks in flight.
+    std::filesystem::create_directories(record_dir / "b.ndjson");
+
+    const BitColumnMatrix trace = randomMatrix(320, q, 0xE2);
+    std::ostringstream req;
+    {
+        serve::WireRequest r;
+        r.op = serve::RequestOp::CreateSession;
+        r.session = "a";
+        r.model = "f";
+        req << serve::encodeRequest(r);
+    }
+    for (const BitColumnMatrix &piece : chunked(trace, 64)) {
+        serve::WireRequest r;
+        r.op = serve::RequestOp::SubmitChunk;
+        r.session = "a";
+        r.bits = piece;
+        req << serve::encodeRequest(r);
+    }
+    {
+        serve::WireRequest r;
+        r.op = serve::RequestOp::CreateSession;
+        r.session = "b";
+        r.model = "f";
+        req << serve::encodeRequest(r);
+    }
+
+    serve::ServeLoopOptions options;
+    options.config.threads = 2;
+    options.recordDir = record_dir.string();
+    std::istringstream in(req.str());
+    std::ostringstream out;
+    StatusOr<serve::ServeLoopReport> report = serve::runServeLoop(
+        std::static_pointer_cast<const ModelRegistry>(reg), in, out,
+        options);
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.status().code(), StatusCode::IoError);
+
+    // Session "a" was still drained and closed: its record file got
+    // the implied close and replays standalone to the exact samples.
+    const StreamingInference engine(model);
+    const std::vector<float> want =
+        sequentialReference(engine, trace, StreamConfig());
+    std::ifstream rec(record_dir / "a.ndjson");
+    ASSERT_TRUE(rec.is_open());
+    std::ostringstream replay_out;
+    StatusOr<serve::ServeLoopReport> replay = serve::runServeLoop(
+        std::static_pointer_cast<const ModelRegistry>(reg), rec,
+        replay_out, {});
+    ASSERT_TRUE(replay.ok()) << replay.status().toString();
+    std::vector<float> replayed;
+    powerSamplesFor(replay_out.str(), "a").swap(replayed);
+    ASSERT_EQ(replayed.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i)
+        ASSERT_EQ(replayed[i], want[i]) << "a[" << i << "]";
     std::filesystem::remove_all(record_dir);
 }
 
