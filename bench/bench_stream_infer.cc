@@ -28,6 +28,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -35,6 +36,8 @@
 
 #include "apollo.hh"
 #include "common.hh"
+
+#include "util/popcnt_kernels.hh"
 
 using namespace apollo;
 
@@ -304,6 +307,50 @@ main(int argc, char **argv)
                 fstream.seconds, n_d / fstream.seconds / 1e6, f_speedup,
                 f_identical ? "yes" : "NO");
 
+    // ---- 3. Kernel ablation: the legacy per-cycle integer path vs
+    //         each popcount implementation the machine can run, all
+    //         through APOLLO_POPCNT (read per engine run). Every
+    //         variant must stay bit-identical to the batch simulator.
+    struct KernelRow
+    {
+        std::string name;
+        double seconds = 1e300;
+        bool identical = false;
+    };
+    std::vector<KernelRow> kernel_rows;
+    {
+        std::vector<const char *> modes = {"off", "scalar"};
+        if (popkernels::implAvailable(popkernels::Impl::Avx2))
+            modes.push_back("avx2");
+        if (popkernels::implAvailable(popkernels::Impl::Avx512))
+            modes.push_back("avx512");
+        for (const char *mode : modes) {
+            setenv("APOLLO_POPCNT", mode, 1);
+            KernelRow row;
+            row.name = mode;
+            std::vector<float> power;
+            for (int rep = 0; rep < reps; ++rep) {
+                MatrixChunkReader reader(X);
+                VectorSink sink;
+                const double t0 = nowSeconds();
+                StatusOr<StreamStats> stats =
+                    qengine.run(reader, sink, config);
+                const double secs = nowSeconds() - t0;
+                stats.status().orFatal();
+                row.seconds = std::min(row.seconds, secs);
+                power = sink.takeValues();
+            }
+            unsetenv("APOLLO_POPCNT");
+            row.identical = power == qbatch_power;
+            std::printf("  kernel[%s]: %.3fs (%.1f Mcyc/s)  "
+                        "identical=%s\n",
+                        row.name.c_str(), row.seconds,
+                        n_d / row.seconds / 1e6,
+                        row.identical ? "yes" : "NO");
+            kernel_rows.push_back(std::move(row));
+        }
+    }
+
     const double batch_rss = maxRssMb();
     const double mem_ratio =
         static_cast<double>(mem10.peakBufferBytes) /
@@ -345,6 +392,17 @@ main(int argc, char **argv)
     os << "    \"speedup_stream_vs_batch\": " << f_speedup << ",\n";
     os << "    \"bit_identical\": " << (f_identical ? "true" : "false")
        << "\n  },\n";
+    os << "  \"kernels\": [\n";
+    for (size_t i = 0; i < kernel_rows.size(); ++i) {
+        const KernelRow &row = kernel_rows[i];
+        os << "    {\"name\": \"" << row.name
+           << "\", \"stream_seconds\": " << row.seconds
+           << ", \"stream_mcycles_per_sec\": "
+           << n_d / row.seconds / 1e6 << ", \"bit_identical\": "
+           << (row.identical ? "true" : "false") << "}"
+           << (i + 1 < kernel_rows.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
     os << "  \"obs\": " << bench::obsDeltaJson(obs_before) << "\n";
     os << "}\n";
     std::printf("wrote %s\n", out.c_str());
@@ -378,5 +436,21 @@ main(int argc, char **argv)
                      q_speedup, q_floor);
         ok = false;
     }
+    const double q_mcyc = n_d / qstream.seconds / 1e6;
+    if (!smoke && q_mcyc < 100.0) {
+        std::fprintf(stderr,
+                     "FAIL: quantized streaming %.1f Mcyc/s below the "
+                     "100 Mcyc/s bit-parallel floor\n",
+                     q_mcyc);
+        ok = false;
+    }
+    for (const KernelRow &row : kernel_rows)
+        if (!row.identical) {
+            std::fprintf(stderr,
+                         "FAIL: kernel '%s' output differs from the "
+                         "batch simulator\n",
+                         row.name.c_str());
+            ok = false;
+        }
     return ok ? 0 : 1;
 }

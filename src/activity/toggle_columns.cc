@@ -47,18 +47,6 @@ ToggleColumnGenerator::bind(std::span<const ActivityFrame> frames)
     busMasks_.clear();
 }
 
-namespace {
-
-/** Zero bits at positions >= n in the last word. */
-inline void
-maskTail(uint64_t *words, size_t nwords, size_t n)
-{
-    if (nwords && (n & 63))
-        words[nwords - 1] &= (1ULL << (n & 63)) - 1;
-}
-
-} // namespace
-
 void
 ToggleColumnGenerator::drawColumn(uint64_t seed)
 {
@@ -121,7 +109,7 @@ ToggleColumnGenerator::fillColumn(uint32_t sig_id, uint64_t *out)
             carry = en[w] >> 63;
             out[w] = en[w] ^ prev;
         }
-        maskTail(out, words_, n_);
+        maskTailWords(out, words_, n_);
         return;
       }
 
@@ -170,6 +158,20 @@ ToggleColumnGenerator::fillColumn(uint32_t sig_id, uint64_t *out)
 
     for (size_t w = 0; w < words_; ++w)
         out[w] &= en[w];
+}
+
+void
+ToggleColumnGenerator::fillMatrix(std::span<const uint32_t> sig_ids,
+                                  BitColumnMatrix &out)
+{
+    out.reset(n_, sig_ids.size());
+    if (n_ == 0)
+        return;
+    // out.wordsPerCol() == wordCount() by construction, so each
+    // column fills in place and keeps the zero-tail rule fillColumn
+    // maintains.
+    for (size_t k = 0; k < sig_ids.size(); ++k)
+        fillColumn(sig_ids[k], out.colWordsMutable(k));
 }
 
 void

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "activity/activity_engine.hh"
+#include "util/bitvec.hh"
 
 namespace apollo {
 
@@ -53,8 +54,22 @@ class ToggleColumnGenerator
      * Fill the packed toggle column of @p sig_id: bit i of @p out is
      * toggles(sig_id, frames, i, 0). @p out must hold wordCount()
      * words. Bit-identical to the per-cycle path by construction.
+     * Honors the packed zero-tail rule: bits at positions >= the
+     * bound frame count in the last word are zero (apollo::
+     * maskTailWords in util/bitvec.hh states the rule; the streaming
+     * popcount kernels rely on it).
      */
     void fillColumn(uint32_t sig_id, uint64_t *out);
+
+    /**
+     * Fill a whole packed proxy matrix: column k of @p out is the
+     * toggle column of sig_ids[k] over the bound segment. Resets
+     * @p out to (frames, sig_ids.size()); the column-major 64-cycle
+     * word layout is exactly what the bit-parallel streaming
+     * inference kernels consume.
+     */
+    void fillMatrix(std::span<const uint32_t> sig_ids,
+                    BitColumnMatrix &out);
 
     /**
      * Reference mode for the differential harness and the seed-cost

@@ -5,8 +5,12 @@
 #include <chrono>
 #include <ostream>
 
+#include <cstdlib>
+#include <string_view>
+
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "opm/opm_bitparallel.hh"
 #include "opm/opm_simulator.hh"
 #include "util/thread_pool.hh"
 
@@ -57,6 +61,32 @@ class TimedSink : public PowerSink
     double &seconds_;
 };
 
+/**
+ * Kernel table for a quantized pipeline, honoring APOLLO_POPCNT
+ * (read at construction so benches and tests can switch between
+ * engine runs): unset/empty or an unknown value = dispatched best,
+ * a known implementation name = that table, "off"/"0" = the legacy
+ * per-cycle path (nullptr). Tiny windows always take the legacy path.
+ */
+const popkernels::Kernels *
+selectPopcountKernels(uint32_t T)
+{
+    if (T < StreamPipeline::kBitParallelMinT)
+        return nullptr;
+    const char *env = std::getenv("APOLLO_POPCNT");
+    if (env && env[0] != '\0') {
+        const std::string_view v(env);
+        if (v == "off" || v == "0")
+            return nullptr;
+        using popkernels::Impl;
+        for (Impl impl : {Impl::Scalar, Impl::Avx2, Impl::Avx512})
+            if (v == popkernels::implName(impl) &&
+                popkernels::implAvailable(impl))
+                return &popkernels::implKernels(impl);
+    }
+    return &popkernels::kernels();
+}
+
 } // namespace
 
 StreamPipeline::StreamPipeline(const ApolloModel &model, uint32_t window_T)
@@ -68,7 +98,7 @@ StreamPipeline::StreamPipeline(const ApolloModel &model, uint32_t window_T)
 }
 
 StreamPipeline::StreamPipeline(const QuantizedModel &model, uint32_t T)
-    : qmodel_(&model), windowT_(T)
+    : qmodel_(&model), windowT_(T), popk_(selectPopcountKernels(T))
 {
     // The simulator runs the width/argument checks eagerly (invalid T
     // or an empty model is a configuration error) and carries the
@@ -89,11 +119,22 @@ StreamPipeline::computeSums(const BitColumnMatrix &bits, size_t rows,
     const size_t q = proxyCount();
     out.rows = rows;
     if (qmodel_) {
-        out.isums.assign(rows, qmodel_->qintercept);
-        for (size_t c = 0; c < q; ++c)
-            if (qmodel_->qweights[c] != 0)
-                bits.axpyColumnI64(c, qmodel_->qweights[c],
-                                   out.isums.data());
+        if (popk_) {
+            // Bit-parallel: one weighted popcount pass per column,
+            // 64 cycles per word, directly onto the stream's window
+            // grid (out.windowPhase0). Never materializes per-cycle
+            // rows or sums.
+            opmSegmentSums(*qmodel_, windowT_, out.windowPhase0, bits,
+                           rows, *popk_, out.segSums);
+            out.isums.clear();
+        } else {
+            out.isums.assign(rows, qmodel_->qintercept);
+            for (size_t c = 0; c < q; ++c)
+                if (qmodel_->qweights[c] != 0)
+                    bits.axpyColumnI64(c, qmodel_->qweights[c],
+                                       out.isums.data());
+            out.segSums.clear();
+        }
     } else if (windowT_ > 0) {
         // Weighted sums *without* intercept, like predictWindowsImpl's
         // per_cycle vector.
@@ -115,10 +156,34 @@ StreamPipeline::emit(const ChunkSums &sums, PowerSink &sink)
     cycles_ += sums.rows;
     if (qmodel_) {
         staging_.clear();
-        for (size_t i = 0; i < sums.rows; ++i) {
-            const OpmSimulator::Output out = sim_->stepSum(sums.isums[i]);
-            if (out.valid)
-                staging_.push_back(static_cast<float>(out.power));
+        if (popk_) {
+            // Replay the precomputed segment sums: the chunk's
+            // leading segment continues the window the previous chunk
+            // left open (the accumulator carried it), so the phases
+            // must agree.
+            APOLLO_ASSERT(sums.rows == 0 ||
+                              sim_->phase() == sums.windowPhase0,
+                          "bit-parallel chunk emitted out of stream "
+                          "order");
+            size_t a = 0;
+            size_t s = 0;
+            size_t b = std::min<size_t>(
+                sums.rows, windowT_ - sums.windowPhase0);
+            while (a < sums.rows) {
+                const OpmSimulator::Output out = sim_->stepSegment(
+                    sums.segSums[s++], static_cast<uint32_t>(b - a));
+                if (out.valid)
+                    staging_.push_back(static_cast<float>(out.power));
+                a = b;
+                b = std::min<size_t>(sums.rows, a + windowT_);
+            }
+        } else {
+            for (size_t i = 0; i < sums.rows; ++i) {
+                const OpmSimulator::Output out =
+                    sim_->stepSum(sums.isums[i]);
+                if (out.valid)
+                    staging_.push_back(static_cast<float>(out.power));
+            }
         }
         if (!staging_.empty())
             sunk = sink.consume(outputs_, staging_);
@@ -296,6 +361,10 @@ StreamingInference::run(ProxyChunkReader &reader, PowerSink &sink,
     TimedSink timed_sink(sink, sink_seconds);
 
     bool at_end = false;
+    // Cycles handed to the pipeline so far: the window phase of each
+    // chunk's first row is known before the parallel compute stage
+    // runs, because slots fill sequentially.
+    uint64_t stream_pos = 0;
     while (!at_end && !stats.cancelled) {
         // 1) Fill slots. Readers are sequential by contract, so reads
         //    are not parallelized; compute below is.
@@ -317,6 +386,9 @@ StreamingInference::run(ProxyChunkReader &reader, PowerSink &sink,
                     " proxies, model expects ", q);
             slot.sums.rows = *got;
             slot.sums.firstCycle = slot.chunk.firstCycle;
+            slot.sums.windowPhase0 =
+                T ? static_cast<uint32_t>(stream_pos % T) : 0;
+            stream_pos += *got;
             stats.chunks++;
             stats.cycles += *got;
             stats.traceBytes += slot.chunk.bits.byteSize();

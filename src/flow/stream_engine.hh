@@ -45,6 +45,7 @@
 #include "opm/opm_simulator.hh"
 #include "opm/quantize.hh"
 #include "trace/stream_reader.hh"
+#include "util/popcnt_kernels.hh"
 #include "util/status.hh"
 
 namespace apollo {
@@ -193,21 +194,34 @@ class CsvPowerSink : public PowerSink
  * One chunk's precomputed per-cycle sums — the output of the pure,
  * thread-safe compute stage of the pipeline. Float engines fill
  * fsums (weighted sums, no intercept in windowed mode; full
- * prediction in per-cycle mode), the quantized engine fills isums
- * (exact integer adder-tree sums including the intercept).
+ * prediction in per-cycle mode). The quantized engine fills segSums
+ * (one exact integer adder-tree sum per T-cycle window segment,
+ * computed bit-parallel from the packed 64-cycle words) and falls
+ * back to per-cycle isums for tiny windows or APOLLO_POPCNT=off.
+ *
+ * windowPhase0 is the stream's window phase at the chunk's first row
+ * (firstCycle mod T for consecutive chunks from phase zero); callers
+ * must set it before computeSums() so the bit-parallel stage splits
+ * segments on the stream's window grid, not the chunk's. A window
+ * that straddles the chunk boundary becomes a trailing partial
+ * segment here and a leading one in the next chunk; the simulator's
+ * accumulator carries it across.
  */
 struct ChunkSums
 {
     size_t rows = 0;
     uint64_t firstCycle = 0;
+    uint32_t windowPhase0 = 0;
     std::vector<float> fsums;
     std::vector<int64_t> isums;
+    std::vector<int64_t> segSums;
 
     uint64_t
     bufferBytes() const
     {
         return fsums.capacity() * sizeof(float) +
-               isums.capacity() * sizeof(int64_t);
+               isums.capacity() * sizeof(int64_t) +
+               segSums.capacity() * sizeof(int64_t);
     }
 };
 
@@ -243,8 +257,28 @@ class StreamPipeline
     explicit StreamPipeline(const ApolloModel &model,
                             uint32_t window_T = 0);
 
-    /** Quantized bit-true OPM pipeline (one sample per T-cycle window). */
+    /**
+     * Quantized bit-true OPM pipeline (one sample per T-cycle
+     * window). For T >= kBitParallelMinT the compute stage runs
+     * bit-parallel: one weighted popcount pass per column per chunk
+     * (opm/opm_bitparallel.hh, runtime-dispatched kernels from
+     * util/popcnt_kernels.hh) instead of one integer add per set bit
+     * per cycle — bit-identical by integer exactness. APOLLO_POPCNT
+     * selects the kernel at construction: unset/empty = best
+     * available, "scalar"/"avx2"/"avx512" = that implementation,
+     * "off" = the legacy per-cycle isums path.
+     */
     StreamPipeline(const QuantizedModel &model, uint32_t T);
+
+    /**
+     * Smallest window the bit-parallel path engages for: below this,
+     * one masked popcount per column per window costs more than the
+     * sparse per-set-bit adds of the legacy path.
+     */
+    static constexpr uint32_t kBitParallelMinT = 4;
+
+    /** True when this pipeline computes segSums instead of isums. */
+    bool bitParallel() const { return popk_ != nullptr; }
 
     bool quantized() const { return qmodel_ != nullptr; }
     size_t proxyCount() const;
@@ -257,7 +291,10 @@ class StreamPipeline
     /**
      * Stage 1 (pure): per-cycle sums of rows [0, rows) of @p bits into
      * @p out. Does not read or write pipeline state, so concurrent
-     * calls on one pipeline are safe.
+     * calls on one pipeline are safe. Bit-parallel quantized
+     * pipelines read out.windowPhase0 (set it to the stream's window
+     * phase at the chunk's first row before calling; a fresh
+     * pipeline's first chunk is phase 0, the default).
      */
     void computeSums(const BitColumnMatrix &bits, size_t rows,
                      ChunkSums &out) const;
@@ -285,6 +322,8 @@ class StreamPipeline
     const ApolloModel *model_ = nullptr;
     const QuantizedModel *qmodel_ = nullptr;
     uint32_t windowT_ = 0;
+    /** Popcount kernel table; null = legacy per-cycle isums path. */
+    const popkernels::Kernels *popk_ = nullptr;
     std::optional<OpmSimulator> sim_;
     double windowAcc_ = 0.0;
     uint32_t windowPhase_ = 0;

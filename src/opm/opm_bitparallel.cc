@@ -1,0 +1,44 @@
+#include "opm/opm_bitparallel.hh"
+
+#include "util/logging.hh"
+
+namespace apollo {
+
+void
+opmSegmentSums(const QuantizedModel &model, uint32_t T, uint32_t phase0,
+               const BitColumnMatrix &bits, size_t rows,
+               const popkernels::Kernels &kernels,
+               std::vector<int64_t> &seg_sums)
+{
+    APOLLO_ASSERT(T >= 1 && phase0 < T, "window phase out of range");
+    // The word-level kernels count whole tail words, so the zero-tail
+    // boundary of the matrix must be the row count being evaluated.
+    APOLLO_ASSERT(rows == bits.rows(), "row count must match chunk");
+    const size_t nseg = popkernels::windowSegments(rows, T, phase0);
+    seg_sums.assign(nseg, 0);
+    if (nseg == 0)
+        return;
+
+    // Per-column weighted popcount passes; each partial product is
+    // bounded by the window worst case the OpmSimulator constructor
+    // sized its accumulator with, so int64 accumulation cannot wrap.
+    const size_t q = model.proxyCount();
+    for (size_t c = 0; c < q; ++c) {
+        const int64_t qw = model.qweights[c];
+        if (qw != 0)
+            kernels.accumWindowSums(bits.colWords(c), rows, T, phase0,
+                                    qw, seg_sums.data());
+    }
+
+    // The intercept enters the adder tree every cycle.
+    size_t a = 0;
+    size_t s = 0;
+    size_t b = rows < T - phase0 ? rows : T - phase0;
+    while (a < rows) {
+        seg_sums[s++] += static_cast<int64_t>(b - a) * model.qintercept;
+        a = b;
+        b = rows < a + T ? rows : a + T;
+    }
+}
+
+} // namespace apollo

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Bit-parallel evaluation of the OPM adder tree over packed
+ * column-major toggle words: instead of materializing one integer sum
+ * per cycle, compute one weighted sum per T-cycle window segment
+ * directly from the 64-cycle words via weighted popcounts
+ * (util/popcnt_kernels.hh),
+ *
+ *   segSum(s) = len_s * qintercept
+ *             + sum_c qweights[c] * popcount(column c, segment s),
+ *
+ * which equals the sum of OpmSimulator::cycleSum() over the segment's
+ * cycles exactly (integer addition is order-independent), so replaying
+ * the segments through OpmSimulator::stepSegment() is bit-identical to
+ * the per-cycle path. Segments are aligned to the *stream's* window
+ * grid: a chunk that starts phase0 cycles into a window contributes a
+ * leading partial segment, and a window straddling the chunk's end is
+ * carried to the next chunk by the simulator's accumulator.
+ */
+
+#ifndef APOLLO_OPM_OPM_BITPARALLEL_HH
+#define APOLLO_OPM_OPM_BITPARALLEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "opm/quantize.hh"
+#include "util/bitvec.hh"
+#include "util/popcnt_kernels.hh"
+
+namespace apollo {
+
+/**
+ * Fill @p seg_sums with the per-segment weighted sums of rows
+ * [0, rows) of @p bits (resized to the segment count). @p phase0 is
+ * the window phase of row 0 (must be < T); zero-weight columns are
+ * skipped. @p rows must equal bits.rows(): the word-level kernels
+ * count whole tail words and rely on the matrix's zero-tail contract
+ * (bits past rows in each column's last word are zero).
+ */
+void opmSegmentSums(const QuantizedModel &model, uint32_t T,
+                    uint32_t phase0, const BitColumnMatrix &bits,
+                    size_t rows, const popkernels::Kernels &kernels,
+                    std::vector<int64_t> &seg_sums);
+
+} // namespace apollo
+
+#endif // APOLLO_OPM_OPM_BITPARALLEL_HH

@@ -116,6 +116,34 @@ OpmSimulator::stepSum(int64_t cycle_sum)
     return out;
 }
 
+OpmSimulator::Output
+OpmSimulator::stepSegment(int64_t segment_sum, uint32_t len)
+{
+    APOLLO_ASSERT(len >= 1 && phase_ + len <= T_,
+                  "segment must stay within one window");
+
+    // One add for the whole segment: exact, so bit-identical to len
+    // stepSum() calls. The accumulator width still covers the partial
+    // window (|acc after k <= T cycles| <= T * max|cycle sum|, the
+    // bound the constructor sized accumBits_ with).
+    accumulator_ += segment_sum;
+    const int64_t accum_limit = 1LL << accumBits_;
+    APOLLO_ASSERT(accumulator_ > -accum_limit &&
+                      accumulator_ < accum_limit,
+                  "accumulator overflows declared width");
+    phase_ += len;
+
+    Output out;
+    if (phase_ == T_) {
+        out.valid = true;
+        out.raw = accumulator_ >> shift_;
+        out.power = model_.dequantize(out.raw);
+        accumulator_ = 0;
+        phase_ = 0;
+    }
+    return out;
+}
+
 std::vector<float>
 OpmSimulator::simulate(const BitColumnMatrix &Xq)
 {

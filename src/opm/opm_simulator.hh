@@ -62,7 +62,25 @@ class OpmSimulator
      */
     Output stepSum(int64_t cycle_sum);
 
+    /**
+     * Advance @p len cycles at once with their precomputed total
+     * @p segment_sum — the bit-parallel replay stage: integer addition
+     * is exact in any order, so one segment add equals len stepSum()
+     * calls bit for bit. The segment must not straddle a window
+     * boundary (phase() + len <= T); chunk code splits chunks at
+     * window boundaries, which is how windows straddling chunk edges
+     * carry across calls. The accumulator-width check (the PR 5
+     * overflow budget) still runs per segment; the per-cycle sums
+     * folded into @p segment_sum are bounded by the same worst-case
+     * analysis the constructor sized the widths with, so skipping the
+     * per-cycle asserts cannot hide an overflow.
+     */
+    Output stepSegment(int64_t segment_sum, uint32_t len);
+
     void reset();
+
+    /** Cycles into the current window (0 <= phase < T). */
+    uint32_t phase() const { return phase_; }
 
     /** Bit width of the per-cycle weighted sum. */
     uint32_t cycleSumBits() const { return cycleSumBits_; }

@@ -155,6 +155,37 @@ opmSimulate(const QuantizedModel &model, const BitColumnMatrix &Xq,
     return out;
 }
 
+std::vector<int64_t>
+opmSegmentSums(const QuantizedModel &model, const BitColumnMatrix &Xq,
+               uint32_t T, uint32_t phase0)
+{
+    APOLLO_REQUIRE(T >= 1 && phase0 < T, "window phase out of range");
+    APOLLO_REQUIRE(Xq.cols() == model.proxyCount(),
+                   "proxy matrix arity mismatch");
+    std::vector<int64_t> out;
+    int64_t seg_sum = 0;
+    uint32_t phase = phase0;
+    uint32_t in_segment = 0;
+    for (size_t i = 0; i < Xq.rows(); ++i) {
+        int64_t cycle_sum = model.qintercept;
+        for (size_t q = 0; q < Xq.cols(); ++q)
+            if (Xq.get(i, q))
+                cycle_sum += model.qweights[q];
+        seg_sum += cycle_sum;
+        in_segment++;
+        phase++;
+        if (phase == T) {
+            out.push_back(seg_sum);
+            seg_sum = 0;
+            phase = 0;
+            in_segment = 0;
+        }
+    }
+    if (in_segment > 0)
+        out.push_back(seg_sum);
+    return out;
+}
+
 CycleSumBounds
 opmCycleSumBounds(const QuantizedModel &model)
 {

@@ -79,6 +79,19 @@ std::vector<float> opmSimulate(const QuantizedModel &model,
                                const BitColumnMatrix &Xq, uint32_t T);
 
 /**
+ * Naive transcription of the bit-parallel kernel's contract
+ * (opm/opm_bitparallel.hh): per-cycle integer sums (qintercept plus
+ * every toggled proxy's qweight), grouped into T-cycle window
+ * segments starting @p phase0 cycles into a window — one entry per
+ * segment, including a trailing partial one. No popcounts, no packed
+ * words: one cycle at a time via get(). Bit-exact oracle for
+ * opmSegmentSums() under every kernel implementation.
+ */
+std::vector<int64_t> opmSegmentSums(const QuantizedModel &model,
+                                    const BitColumnMatrix &Xq,
+                                    uint32_t T, uint32_t phase0);
+
+/**
  * Exact worst-case bounds of the OPM per-cycle sum: qintercept plus
  * the sum of all positive (resp. negative) quantized weights. Used to
  * verify the declared hardware widths actually cover every input.

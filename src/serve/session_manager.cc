@@ -413,9 +413,16 @@ SessionManager::processSession(size_t slot)
         // token guarantees exclusive access to pipe/sums/sink, and
         // submitChunk never touches them.
         const uint64_t before = session.pipe->outputs();
+        session.sums.firstCycle = chunk.firstCycle;
+        // The bit-parallel compute stage needs the stream's window
+        // phase at the chunk's first row; chunks are accepted and
+        // processed in order from cycle 0, so firstCycle is it.
+        const uint32_t window_T = session.pipe->windowT();
+        session.sums.windowPhase0 =
+            window_T ? static_cast<uint32_t>(chunk.firstCycle % window_T)
+                     : 0;
         session.pipe->computeSums(chunk.bits, chunk.bits.rows(),
                                   session.sums);
-        session.sums.firstCycle = chunk.firstCycle;
         Status sunk = session.pipe->emit(session.sums, *session.sink);
         const uint64_t emitted = session.pipe->outputs() - before;
         if (emitted > 0) {

@@ -243,6 +243,24 @@ ProxyTraceReader::readBlock()
     if (!is_)
         return Status::ioError("truncated proxy trace block at cycle ",
                                pos_);
+    // Enforce the packed zero-tail contract on untrusted input: the
+    // whole-block fast path in next() hands this matrix to consumers
+    // without re-slicing, and the word-at-a-time kernels (popcount
+    // windows, axpyColumnI64) trust that bits past `rows` in each
+    // column's last word are zero — a forged tail word would count
+    // phantom cycles or index past per-row accumulators.
+    if (rows & 63) {
+        const uint64_t tail_mask =
+            ~uint64_t{0} << (rows & 63);
+        const size_t last = block_.wordsPerCol() - 1;
+        for (size_t c = 0; c < q_; ++c) {
+            if (block_.colWords(c)[last] & tail_mask)
+                return Status::parseError(
+                    "proxy trace block declares ", rows,
+                    " rows but sets bits past the last row in "
+                    "column ", c);
+        }
+    }
     blockPos_ = 0;
     return Status::okStatus();
 }

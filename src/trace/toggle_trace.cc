@@ -3,6 +3,7 @@
 #include <map>
 #include <mutex>
 
+#include "activity/toggle_columns.hh"
 #include "gen/fitness_eval.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -155,12 +156,29 @@ DatasetBuilder::traceProxies(const ActivityEngine &engine,
 {
     const size_t n = frames.size();
     BitColumnMatrix bits(n, proxy_ids.size());
+    if (n == 0 || proxy_ids.empty())
+        return bits;
+    if (segment_begin_of.empty()) {
+        // Single-segment traces take the batched column generator —
+        // bit-identical to the per-cycle path by construction (pinned
+        // by the activity toggle-column oracle) and it packs each
+        // column's 64-cycle words directly, which is the layout the
+        // bit-parallel streaming kernels consume. One worker-local
+        // generator per column chunk: fillColumn shares draw scratch,
+        // so a generator must not be called concurrently.
+        parallelFor(proxy_ids.size(), [&](size_t q0, size_t q1) {
+            ToggleColumnGenerator gen(engine);
+            gen.bind(frames);
+            for (size_t q = q0; q < q1; ++q)
+                gen.fillColumn(proxy_ids[q], bits.colWordsMutable(q));
+        });
+        return bits;
+    }
     parallelFor(proxy_ids.size(), [&](size_t q0, size_t q1) {
         for (size_t q = q0; q < q1; ++q) {
             const uint32_t sig_id = proxy_ids[q];
             for (size_t i = 0; i < n; ++i) {
-                const uint32_t seg =
-                    segment_begin_of.empty() ? 0 : segment_begin_of[i];
+                const uint32_t seg = segment_begin_of[i];
                 if (engine.toggles(sig_id, frames, i, seg))
                     bits.setBit(i, q);
             }

@@ -25,6 +25,22 @@
 
 namespace apollo {
 
+/**
+ * The packed zero-tail rule, stated once: a packed bit span of n
+ * valid bits keeps every bit at position >= n in its last word zero.
+ * All word-at-a-time kernels (bitvec_kernels, popcnt_kernels) rely on
+ * it, producers (set()/setBit(), sliceRowsInto, the toggle-column
+ * generator) maintain it, and the trace decoder rejects input that
+ * violates it. This helper clears the tail of a word array holding
+ * @p nbits valid bits.
+ */
+inline void
+maskTailWords(uint64_t *words, size_t nwords, size_t nbits)
+{
+    if (nwords && (nbits & 63))
+        words[nwords - 1] &= (uint64_t{1} << (nbits & 63)) - 1;
+}
+
 /** A resizable packed bit vector. */
 class BitVector
 {

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fuzz target for the packed column-major trace decode that feeds the
+ * bit-parallel streaming kernels. Beyond the never-crash/never-throw
+ * contract of every parser target, each chunk the reader serves must
+ * honor the packed zero-tail rule (bits at positions >= rows in a
+ * column's last word are zero; see apollo::maskTailWords): the
+ * popcount kernels consume the served words without re-masking, so a
+ * forged tail word that survives decoding would turn into phantom
+ * toggle counts downstream. The target feeds every served column
+ * through the dispatched popcount kernel and treats a tail leak or an
+ * impossible count as a bug, not just a parse disagreement.
+ */
+
+#include "fuzz/fuzz_driver.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "trace/stream_reader.hh"
+#include "util/popcnt_kernels.hh"
+
+void
+apolloFuzzOne(const uint8_t *data, size_t size)
+{
+    std::istringstream is(
+        std::string(reinterpret_cast<const char *>(data), size));
+    apollo::ProxyTraceReader reader(is);
+    apollo::ProxyChunk chunk;
+    const apollo::popkernels::Kernels &k = apollo::popkernels::kernels();
+    uint64_t rows_total = 0;
+    for (int iter = 0; iter < 4096; ++iter) {
+        // 777 is not a multiple of 64: served chunks exercise the
+        // partial-word re-slicing path of the reader.
+        apollo::StatusOr<size_t> got = reader.next(777, chunk);
+        if (!got.ok() || *got == 0)
+            break;
+        const size_t rows = *got;
+        const apollo::BitColumnMatrix &bits = chunk.bits;
+        for (size_t c = 0; c < bits.cols(); ++c) {
+            if (rows & 63) {
+                const uint64_t tail =
+                    bits.colWords(c)[bits.wordsPerCol() - 1] >>
+                    (rows & 63);
+                if (tail != 0) {
+                    std::fprintf(stderr,
+                                 "FUZZ-BUG: decoded chunk leaks tail "
+                                 "bits (rows=%zu col=%zu)\n",
+                                 rows, c);
+                    std::abort();
+                }
+            }
+            const uint64_t pop =
+                k.countWords(bits.colWords(c), bits.wordsPerCol());
+            if (pop > rows) {
+                std::fprintf(stderr,
+                             "FUZZ-BUG: column popcount %llu exceeds "
+                             "row count %zu\n",
+                             static_cast<unsigned long long>(pop),
+                             rows);
+                std::abort();
+            }
+        }
+        rows_total += rows;
+        if (rows_total > (uint64_t{1} << 22))
+            break; // the input cannot legitimately be this long
+    }
+}

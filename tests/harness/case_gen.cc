@@ -328,6 +328,77 @@ makeTargetQCase(uint64_t seed)
     return c;
 }
 
+BitParallelCase
+makeBitParallelCase(uint64_t seed)
+{
+    Xoshiro256StarStar rng(hashMix(seed ^ 0xb17a));
+    BitParallelCase c;
+    const uint64_t shape = hashMix(seed ^ 0xb17b) % 8;
+
+    static constexpr uint32_t kBits[] = {2, 4, 8, 10, 12, 16, 24};
+    c.bits = kBits[rng.nextBounded(std::size(kBits))];
+
+    size_t rows = 16 + rng.nextBounded(600);
+    size_t q = 2 + rng.nextBounded(90);
+    double density = rng.nextRange(0.05, 0.6);
+    uint32_t T = 0; // 0: derived from rows below
+    switch (shape) {
+      case 0: c.shape = "nominal"; break;
+      case 1: {
+        c.shape = "q-word-edge";
+        static constexpr size_t kQ[] = {63, 64, 65, 127, 128, 129};
+        q = kQ[rng.nextBounded(std::size(kQ))];
+        break;
+      }
+      case 2: {
+        c.shape = "rows-word-edge";
+        static constexpr size_t kRows[] = {0,   1,   63,  64,  65,
+                                           127, 128, 129, 191, 193};
+        rows = kRows[rng.nextBounded(std::size(kRows))];
+        // Sometimes T > rows: only a trailing partial segment exists.
+        if (rng.nextDouble() < 0.35)
+            T = 64;
+        break;
+      }
+      case 3:
+        c.shape = "legacy-small-T";
+        T = 1 + static_cast<uint32_t>(rng.nextBounded(2));
+        break;
+      case 4: {
+        c.shape = "word-aligned-T";
+        static constexpr uint32_t kT[] = {64, 128, 256};
+        T = kT[rng.nextBounded(std::size(kT))];
+        rows = 3 * T + rng.nextBounded(4 * T);
+        break;
+      }
+      case 5:
+        c.shape = "T32";
+        T = 32;
+        rows = 64 + rng.nextBounded(600);
+        break;
+      case 6:
+        c.shape = "dense";
+        density = 0.97;
+        break;
+      default:
+        c.shape = "wide";
+        q = 140 + rng.nextBounded(24);
+    }
+
+    c.model.proxyIds.resize(q);
+    for (size_t j = 0; j < q; ++j)
+        c.model.proxyIds[j] = static_cast<uint32_t>(j);
+    c.model.weights = randomWeights(rng, q);
+    c.model.intercept = rng.nextRange(-5.0, 5.0);
+    c.model.designName = "gen";
+
+    c.T = T ? T
+            : randomPowerOfTwo(
+                  rng, static_cast<uint32_t>(std::max<size_t>(rows, 1)));
+    c.Xq = randomBits(rng, rows, q, density);
+    return c;
+}
+
 size_t
 streamChunkCycles(uint64_t seed)
 {

@@ -91,6 +91,27 @@ struct TargetQCase
 
 TargetQCase makeTargetQCase(uint64_t seed);
 
+/**
+ * A generated bit-parallel streaming case: float model + quantizer bit
+ * width + proxy trace + power-of-two window. Shape classes target the
+ * packed 64-cycle kernels specifically: proxy counts at and around
+ * word multiples (63/64/65/127/128/129, and ~150 like the reference
+ * OPM), trace lengths at word boundaries (0/1/63/64/65/...), windows
+ * below the bit-parallel threshold (T in {1, 2} — legacy path), the
+ * word-aligned fast paths (T in {64, 128, 256}), and the vectorized
+ * T = 32 path.
+ */
+struct BitParallelCase
+{
+    ApolloModel model;
+    uint32_t bits = 10;
+    uint32_t T = 4;
+    BitColumnMatrix Xq;
+    std::string shape;
+};
+
+BitParallelCase makeBitParallelCase(uint64_t seed);
+
 /** Chunk-size schedule for streaming cases (varied, includes 1). */
 size_t streamChunkCycles(uint64_t seed);
 

@@ -16,6 +16,7 @@
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 
 #include "apollo.hh"
@@ -26,8 +27,10 @@
 #include "ml/coordinate_descent.hh"
 #include "ml/feature_view.hh"
 #include "ml/solver_path.hh"
+#include "opm/opm_bitparallel.hh"
 #include "opm/opm_simulator.hh"
 #include "opm/quantize.hh"
+#include "util/popcnt_kernels.hh"
 #include "ref/reference_ga.hh"
 #include "ref/reference_kernels.hh"
 #include "ref/reference_solver.hh"
@@ -326,6 +329,212 @@ runStreamQuantized(uint64_t seed)
     return compareExact(sink.values(), ref::opmSimulate(qm, c.Xq, c.T),
                         c.shape + fmt("+B=%u+T=%u+chunk=%zu", c.bits,
                                       c.T, config.chunkCycles));
+}
+
+/** Exact int64 comparison (segment sums). */
+std::optional<std::string>
+compareExactI64(std::span<const int64_t> prod,
+                std::span<const int64_t> want, const std::string &shape)
+{
+    if (prod.size() != want.size())
+        return fmt("shape=%s: segment count prod=%zu ref=%zu",
+                   shape.c_str(), prod.size(), want.size());
+    for (size_t i = 0; i < prod.size(); ++i)
+        if (prod[i] != want[i])
+            return fmt("shape=%s: segment %zu: prod=%lld ref=%lld",
+                       shape.c_str(), i,
+                       static_cast<long long>(prod[i]),
+                       static_cast<long long>(want[i]));
+    return std::nullopt;
+}
+
+/**
+ * Scoped APOLLO_POPCNT override; restores the previous value (or
+ * unsets) on destruction so an externally set selection survives the
+ * oracle run.
+ */
+class ScopedPopcntEnv
+{
+  public:
+    explicit ScopedPopcntEnv(const char *value)
+    {
+        const char *prev = std::getenv("APOLLO_POPCNT");
+        if (prev)
+            saved_ = prev;
+        if (value)
+            setenv("APOLLO_POPCNT", value, 1);
+        else if (prev)
+            unsetenv("APOLLO_POPCNT");
+    }
+    ~ScopedPopcntEnv()
+    {
+        if (saved_)
+            setenv("APOLLO_POPCNT", saved_->c_str(), 1);
+        else
+            unsetenv("APOLLO_POPCNT");
+    }
+
+  private:
+    std::optional<std::string> saved_;
+};
+
+/**
+ * One bit-parallel case, checked at every layer: the raw segment-sum
+ * kernels per available implementation and window phase against the
+ * naive per-cycle src/ref transcription; the quantized streaming
+ * engine (bit-parallel and forced-legacy) against ref::opmSimulate
+ * across a varied chunk schedule (windows straddle chunk boundaries
+ * whenever the chunk size is not a multiple of T); the float windowed
+ * stream against ref::predictWindowsProxies (the refactor must leave
+ * the float path bit-identical too); and tau-invariance of Eq. (9)
+ * inference for tau in {1, T, T+1}.
+ */
+std::optional<std::string>
+checkBitParallelCase(const BitParallelCase &c, uint64_t seed)
+{
+    const QuantizedModel qm = apollo::quantizeModel(c.model, c.bits);
+
+    // Raw kernels: every built+runnable impl, phases 0 / 1 / T-1.
+    static constexpr popkernels::Impl kImpls[] = {
+        popkernels::Impl::Scalar, popkernels::Impl::Avx2,
+        popkernels::Impl::Avx512};
+    std::vector<int64_t> segs;
+    for (const popkernels::Impl impl : kImpls) {
+        if (!popkernels::implAvailable(impl))
+            continue;
+        for (const uint32_t phase0 : {0u, 1u, c.T - 1}) {
+            if (phase0 >= c.T)
+                continue;
+            opmSegmentSums(qm, c.T, phase0, c.Xq, c.Xq.rows(),
+                           popkernels::implKernels(impl), segs);
+            const std::vector<int64_t> want =
+                ref::opmSegmentSums(qm, c.Xq, c.T, phase0);
+            if (auto d = compareExactI64(
+                    segs, want,
+                    c.shape + fmt("+impl=%s+T=%u+phase0=%u",
+                                  popkernels::implName(impl), c.T,
+                                  phase0)))
+                return d;
+        }
+    }
+
+    // Quantized streaming: bit-parallel (default dispatch) and the
+    // forced-legacy per-cycle path, both against the naive reference.
+    const std::vector<float> want_q = ref::opmSimulate(qm, c.Xq, c.T);
+    const size_t chunk = streamChunkCycles(seed);
+    for (const char *mode : {static_cast<const char *>(nullptr), "off"}) {
+        const ScopedPopcntEnv env(mode);
+        MatrixChunkReader reader(c.Xq);
+        VectorSink sink;
+        const StreamingInference engine(qm, c.T);
+        const StreamConfig config =
+            StreamConfig().withChunkCycles(chunk);
+        auto stats = engine.run(reader, sink, config);
+        const std::string shape =
+            c.shape + fmt("+stream[%s]+B=%u+T=%u+chunk=%zu",
+                          mode ? mode : "auto", c.bits, c.T, chunk);
+        if (!stats.ok())
+            return fmt("shape=%s: run failed: %s", shape.c_str(),
+                       stats.status().message().c_str());
+        if (auto d = compareExact(sink.values(), want_q, shape))
+            return d;
+    }
+
+    // Float windowed stream: unchanged by the bit-parallel refactor.
+    {
+        MatrixChunkReader reader(c.Xq);
+        VectorSink sink;
+        const StreamingInference engine(c.model);
+        const StreamConfig config = StreamConfig()
+                                        .withChunkCycles(chunk)
+                                        .withWindowT(c.T);
+        auto stats = engine.run(reader, sink, config);
+        if (!stats.ok())
+            return fmt("shape=%s: float run failed: %s",
+                       c.shape.c_str(),
+                       stats.status().message().c_str());
+        const SegmentInfo whole{"trace", 0, c.Xq.rows()};
+        const std::vector<float> want_f = ref::predictWindowsProxies(
+            c.model, c.Xq, c.T,
+            std::span<const SegmentInfo>(&whole, 1));
+        if (auto d = compareExact(
+                sink.values(), want_f,
+                c.shape + fmt("+float+T=%u+chunk=%zu", c.T, chunk)))
+            return d;
+    }
+
+    // Tau-invariance: tau only affects training; Eq. (9) inference for
+    // tau in {1, T, T+1} must match the reference windows exactly.
+    const SegmentInfo whole{"trace", 0, c.Xq.rows()};
+    const bool have_window = c.Xq.rows() / c.T >= 1;
+    const std::vector<float> want_w =
+        have_window ? ref::predictWindowsProxies(
+                          c.model, c.Xq, c.T,
+                          std::span<const SegmentInfo>(&whole, 1))
+                    : std::vector<float>{};
+    for (const uint32_t tau : {1u, c.T, c.T + 1}) {
+        const MultiCycleModel mc{c.model, tau};
+        StatusOr<std::vector<float>> got = mc.predictWindowsProxies(
+            c.Xq, c.T, std::span<const SegmentInfo>(&whole, 1));
+        if (!have_window) {
+            if (got.ok())
+                return fmt("shape=%s: tau=%u: expected InvalidArgument "
+                           "for zero windows",
+                           c.shape.c_str(), tau);
+            continue;
+        }
+        if (!got.ok())
+            return fmt("shape=%s: tau=%u: predictWindowsProxies "
+                       "failed: %s",
+                       c.shape.c_str(), tau,
+                       got.status().toString().c_str());
+        if (auto d = compareExact(*got, want_w,
+                                  c.shape + fmt("+tau=%u", tau)))
+            return d;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+runStreamBitparallel(uint64_t seed)
+{
+    const BitParallelCase c0 = makeBitParallelCase(seed);
+    auto check = [seed](const BitParallelCase &c) {
+        return checkBitParallelCase(c, seed);
+    };
+    std::optional<std::string> detail = check(c0);
+    if (!detail)
+        return std::nullopt;
+
+    const std::function<bool(const BitParallelCase &)> fails =
+        [&](const BitParallelCase &c) { return check(c).has_value(); };
+    const std::vector<std::function<bool(BitParallelCase &)>> mutators = {
+        [](BitParallelCase &c) {
+            if (c.Xq.rows() <= 1)
+                return false;
+            c.Xq = takeRows(c.Xq, c.Xq.rows() / 2);
+            return true;
+        },
+        [](BitParallelCase &c) {
+            if (c.Xq.cols() <= 1)
+                return false;
+            const size_t keep = c.Xq.cols() / 2;
+            c.Xq = takeCols(c.Xq, keep);
+            c.model.weights.resize(keep);
+            c.model.proxyIds.resize(keep);
+            return true;
+        },
+        [](BitParallelCase &c) {
+            if (c.model.intercept == 0.0)
+                return false;
+            c.model.intercept = 0.0;
+            return true;
+        },
+    };
+    BitParallelCase s = shrinkCase(c0, fails, mutators);
+    return *check(s) +
+           fmt(" [shrunk to rows=%zu cols=%zu from rows=%zu cols=%zu]",
+               s.Xq.rows(), s.Xq.cols(), c0.Xq.rows(), c0.Xq.cols());
 }
 
 /**
@@ -764,6 +973,7 @@ oracleRegistry()
         {"opm.quantize_roundtrip", runQuantizeRoundtrip},
         {"opm.simulate", runOpmSimulate},
         {"opm.stream_quantized", runStreamQuantized},
+        {"stream.bitparallel_vs_scalar", runStreamBitparallel},
         {"solver.cd_bits", runCdBits},
         {"solver.cd_counts", runCdCounts},
         {"solver.cd_dense", runCdDense},

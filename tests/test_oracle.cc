@@ -30,7 +30,7 @@ TEST(OracleRegistry, CoversEveryProductionPath)
         "infer.windows_eq9",     "infer.stream_percycle",
         "infer.stream_windows",  "opm.quantize",
         "opm.quantize_roundtrip", "opm.simulate",
-        "opm.stream_quantized",
+        "opm.stream_quantized",  "stream.bitparallel_vs_scalar",
         "solver.cd_bits",        "solver.cd_counts",
         "solver.cd_dense",       "solver.target_q",
         "gen.toggle_columns",    "gen.fitness_power",

@@ -262,6 +262,51 @@ TEST(ServeDeterminism, ConcurrentSessionsMatchSequentialRuns)
     }
 }
 
+TEST(ServeDeterminism, BitParallelSessionsMatchScalarBaseline)
+{
+    // Quantized sessions pick up the bit-parallel 64-cycle kernel
+    // transparently (T >= StreamPipeline::kBitParallelMinT). Eight
+    // concurrent sessions at every worker count must stay byte-
+    // identical to the per-cycle batch OpmSimulator — a baseline that
+    // shares no code with the popcount kernels. Proxy count (150) and
+    // chunk rows (193) are deliberately not multiples of 64, so every
+    // chunk boundary carries a partial packed word and a mid-window
+    // phase.
+    const size_t q = 150;
+    const ApolloModel fmodel = randomModel(q, 0x61);
+    const QuantizedModel qmodel = quantizeModel(fmodel, 10);
+
+    auto reg = std::make_shared<ModelRegistry>();
+    ASSERT_TRUE(reg->addQuantized("opm16", qmodel, 16).ok());
+    ASSERT_TRUE(reg->addQuantized("opm32", qmodel, 32).ok());
+
+    std::vector<SessionPlan> plans;
+    for (size_t i = 0; i < 8; ++i) {
+        SessionPlan plan;
+        const size_t rows = 650 + 53 * i;
+        plan.trace = randomMatrix(rows, q, 0x2000 + i);
+        const uint32_t T = i % 2 ? 32 : 16;
+        plan.model = i % 2 ? "opm32" : "opm16";
+        OpmSimulator sim(qmodel, T);
+        plan.expected = sim.simulate(plan.trace);
+        plans.push_back(std::move(plan));
+    }
+
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        std::vector<SessionPlan> copy;
+        for (const SessionPlan &p : plans) {
+            SessionPlan c;
+            c.model = p.model;
+            c.windowT = p.windowT;
+            c.trace = p.trace;
+            c.expected = p.expected;
+            copy.push_back(std::move(c));
+        }
+        runDeterminismCase(reg, std::move(copy), threads, 193);
+    }
+}
+
 TEST(ServeSessions, ValidatesCreationAndHandles)
 {
     auto reg = std::make_shared<ModelRegistry>();

@@ -44,6 +44,12 @@ echo "BENCH_obs_overhead.json updated"
 "$BUILD_DIR"/bench/bench_serve --out=BENCH_serve.json "$@"
 echo "BENCH_serve.json updated"
 
+# Bit-parallel kernel ablation guard: re-run through ctest so the perf
+# label stays green on the same tree the benches used (scalar / AVX2 /
+# VPOPCNTQ / legacy all bit-identical to the batch simulator).
+(cd "$BUILD_DIR" && ctest -R 'perf\.stream_bitparallel' --output-on-failure)
+echo "perf.stream_bitparallel guard passed"
+
 # Cross-check the compiled-out configuration: the same hot paths must
 # build and run with every APOLLO_COUNT/SPAN macro expanded to nothing.
 OBS_OFF_DIR=${APOLLO_OBS_OFF_DIR:-build-obs-off}

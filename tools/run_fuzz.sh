@@ -7,7 +7,7 @@
 # the replay seed (docs/INTERNALS.md section 8).
 #
 # Usage: tools/run_fuzz.sh [seconds-per-target] [target...]
-#   tools/run_fuzz.sh              # 60s each on aptr, vcd, dataset
+#   tools/run_fuzz.sh              # 60s each: aptr, vcd, dataset, packed
 #   tools/run_fuzz.sh 300 vcd      # 5 minutes on the VCD parser only
 #
 # Environment:
@@ -21,7 +21,7 @@ BUILD_DIR=${BUILD_DIR:-build-asan}
 SECONDS_PER_TARGET=${1:-60}
 shift || true
 TARGETS=("$@")
-[[ ${#TARGETS[@]} -gt 0 ]] || TARGETS=(aptr vcd dataset)
+[[ ${#TARGETS[@]} -gt 0 ]] || TARGETS=(aptr vcd dataset packed)
 
 cmake -B "$BUILD_DIR" -S . -DAPOLLO_SANITIZE=ON
 for t in "${TARGETS[@]}"; do

@@ -41,7 +41,8 @@ fi
 cmake -B "$BUILD_DIR" -S . "${san_flags[@]}" "${obs_flags[@]}"
 cmake --build "$BUILD_DIR" -j --target apollo_tests \
     --target apollo_oracle_tests \
-    --target fuzz_aptr --target fuzz_vcd --target fuzz_dataset
+    --target fuzz_aptr --target fuzz_vcd --target fuzz_dataset \
+    --target fuzz_packed
 
 if [[ $# -gt 0 ]]; then
     ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
