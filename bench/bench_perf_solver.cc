@@ -16,20 +16,36 @@
  * (wall-clock, cumulative sweeps, KKT passes) are written to
  * BENCH_solver.json so future PRs can track the trajectory.
  *
- * Usage: bench_perf_solver [--smoke] [--reps=N] [--out=PATH]
+ * Usage: bench_perf_solver [--smoke] [--huge] [--reps=N] [--out=PATH]
  * (--smoke: tiny problem + relaxed timing gate; used by the `perf`
  * ctest label to catch kernel/screening regressions.)
+ *
+ * --huge adds the paper-scale out-of-core phase (docs/INTERNALS.md
+ * §13): the counter-seeded synthetic matrix is streamed into APSH
+ * shard files (M = 500k full / 100k smoke — never resident), then
+ * selectProxiesSharded runs end to end against the mapped set. Gates:
+ * peak RSS growth must stay well below the dense N x M footprint
+ * (< 25% in full mode), and an M = 24k identity grid re-checks that
+ * the sharded path selects the bit-identical support and weights at
+ * every shard count x thread count vs the in-RAM solver. The huge
+ * phase runs FIRST (ru_maxrss is monotonic, so the baseline snapshot
+ * at main() entry only bounds it if nothing big ran before).
  */
+
+#include <sys/resource.h>
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "apollo.hh"
 #include "common.hh"
+#include "gen/synthetic_toggles.hh"
 
 using namespace apollo;
 
@@ -156,10 +172,244 @@ runConfig(const LayerConfig &layer, const BitColumnMatrix &X,
     return stats;
 }
 
+/** Peak RSS of this process so far, in bytes (ru_maxrss is KiB on
+ *  Linux and monotonic — deltas only bound phases that ran before the
+ *  second snapshot). */
+double
+peakRssBytes()
+{
+    struct rusage ru
+    {};
+    getrusage(RUSAGE_SELF, &ru);
+    return static_cast<double>(ru.ru_maxrss) * 1024.0;
+}
+
+/** One cell of the M=24k sharded-vs-unsharded identity grid. */
+struct IdentityRun
+{
+    uint32_t shards = 0;
+    bool parallel = false;
+    double seconds = 0.0;
+    bool match = false;
+};
+
+/** Results of the out-of-core phase. */
+struct HugeResult
+{
+    size_t n = 0;
+    size_t m = 0;
+    size_t q = 0;
+    uint32_t shards = 0;
+    double genSeconds = 0.0;
+    double selectSeconds = 0.0;
+    double rssDeltaBytes = 0.0;
+    double denseBytes = 0.0;
+    double rssLimitBytes = 0.0;
+    size_t nonzeros = 0;
+    ShardSelectionStats stats;
+    bool rssOk = false;
+    bool selectOk = false;
+    std::vector<IdentityRun> identity;
+    bool identityOk = false;
+};
+
+/**
+ * Paper-scale out-of-core selection: stream the counter-seeded
+ * synthetic matrix into APSH shards (one column block in RAM at a
+ * time), then run selectProxiesSharded against the mapped set. The
+ * matrix is never resident; the RSS gate checks that stays true end
+ * to end.
+ */
+void
+runHugePhase(bool smoke, double baseline_rss, HugeResult &h)
+{
+    namespace fs = std::filesystem;
+    h.n = smoke ? 4096 : 12000;
+    h.m = smoke ? 100000 : 500000;
+    h.q = smoke ? 48 : 159;
+    h.shards = smoke ? 16 : 32;
+    const size_t wpc = (h.n + 63) / 64;
+    h.denseBytes = static_cast<double>(wpc) * 8.0 *
+                   static_cast<double>(h.m);
+    // The ISSUE gate (< 25% of the dense footprint) applies at the
+    // full M=500k scale; smoke shrinks the matrix until fixed costs
+    // (thread stacks, allocator slack) are a visible fraction, so it
+    // gets a relaxed factor while still proving sub-linear residency.
+    h.rssLimitBytes = (smoke ? 0.5 : 0.25) * h.denseBytes;
+
+    const fs::path dir = fs::temp_directory_path() / "apollo_bench_huge";
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    const std::string base =
+        (dir / (smoke ? "huge_smoke" : "huge")).string();
+
+    std::printf("huge: n=%zu m=%zu q=%zu shards=%u (dense footprint "
+                "%.0f MiB, never resident)\n",
+                h.n, h.m, h.q, h.shards, h.denseBytes / (1 << 20));
+    auto t0 = std::chrono::steady_clock::now();
+    const Status gen =
+        writeSyntheticShards(base, h.n, h.m, h.shards, 0xa9011c);
+    h.genSeconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    if (!gen.ok()) {
+        std::fprintf(stderr, "huge: shard generation failed: %s\n",
+                     gen.message().c_str());
+        return;
+    }
+    const std::vector<float> y =
+        makeSyntheticLabels(h.n, h.m, h.m / 80 + 8, 0xa9011c, 0x5eed);
+
+    t0 = std::chrono::steady_clock::now();
+    StatusOr<MappedShardSet> set = MappedShardSet::open(base);
+    if (!set.ok()) {
+        std::fprintf(stderr, "huge: open failed: %s\n",
+                     set.status().message().c_str());
+        return;
+    }
+    ProxySelectorConfig cfg;
+    cfg.targetQ = h.q;
+    StatusOr<ProxySelection> sel =
+        selectProxiesSharded(*set, y, cfg, &h.stats);
+    h.selectSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (!sel.ok()) {
+        std::fprintf(stderr, "huge: selection failed: %s\n",
+                     sel.status().message().c_str());
+        return;
+    }
+    h.selectOk = true;
+    h.nonzeros = sel->proxyIds.size();
+    h.rssDeltaBytes = peakRssBytes() - baseline_rss;
+    h.rssOk = h.rssDeltaBytes < h.rssLimitBytes;
+    std::printf("  gen %.1fs  select %.1fs  nnz=%zu  admitted=%llu/%llu"
+                "  peak_strong=%llu\n",
+                h.genSeconds, h.selectSeconds, h.nonzeros,
+                static_cast<unsigned long long>(h.stats.screenAdmitted),
+                static_cast<unsigned long long>(h.stats.colsScanned),
+                static_cast<unsigned long long>(h.stats.peakStrongSize));
+    std::printf("  peak RSS delta %.0f MiB vs dense %.0f MiB "
+                "(limit %.0f MiB) %s\n",
+                h.rssDeltaBytes / (1 << 20), h.denseBytes / (1 << 20),
+                h.rssLimitBytes / (1 << 20),
+                h.rssOk ? "OK" : "FAIL");
+    fs::remove_all(dir, ec);
+}
+
+/**
+ * The determinism gate at the paper's N1ish scale: selectProxiesSharded
+ * over K ∈ {1,4,16} shards, serial and pooled, must reproduce the
+ * in-RAM selectProxies support, weights, and intercept bit-for-bit
+ * (M = 24k full / 6k smoke of the same counter-seeded matrix).
+ */
+void
+runIdentityGrid(bool smoke, HugeResult &h)
+{
+    namespace fs = std::filesystem;
+    const size_t n = smoke ? 2500 : 12000;
+    const size_t m = smoke ? 6000 : 24000;
+    const size_t q = smoke ? 48 : 159;
+
+    const BitColumnMatrix X = makeSyntheticToggleBlock(n, 0, m, 0xa9011c);
+    const std::vector<float> y =
+        makeSyntheticLabels(n, m, m / 80 + 8, 0xa9011c, 0x5eed);
+    ProxySelectorConfig cfg;
+    cfg.targetQ = q;
+    const BitFeatureView view(X);
+    const ProxySelection want = selectProxies(view, y, cfg);
+
+    const fs::path dir =
+        fs::temp_directory_path() / "apollo_bench_huge_identity";
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    h.identityOk = true;
+    for (uint32_t shards : {1u, 4u, 16u}) {
+        const std::string base =
+            (dir / ("id_" + std::to_string(shards))).string();
+        const Status saved = saveShardedMatrix(base, X, shards);
+        StatusOr<MappedShardSet> set =
+            saved.ok() ? MappedShardSet::open(base)
+                       : StatusOr<MappedShardSet>(saved);
+        for (bool parallel : {false, true}) {
+            IdentityRun run;
+            run.shards = shards;
+            run.parallel = parallel;
+            if (set.ok()) {
+                cfg.parallel = parallel;
+                const auto t0 = std::chrono::steady_clock::now();
+                StatusOr<ProxySelection> got =
+                    selectProxiesSharded(*set, y, cfg);
+                run.seconds = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+                run.match =
+                    got.ok() && got->proxyIds == want.proxyIds &&
+                    got->sparseModel.w.size() == want.sparseModel.w.size() &&
+                    std::memcmp(got->sparseModel.w.data(),
+                                want.sparseModel.w.data(),
+                                want.sparseModel.w.size() *
+                                    sizeof(float)) == 0 &&
+                    got->sparseModel.intercept ==
+                        want.sparseModel.intercept;
+            }
+            std::printf("  identity m=%zu shards=%-2u %s %7.3fs  %s\n",
+                        m, shards, parallel ? "pool  " : "serial",
+                        run.seconds,
+                        run.match ? "bit-identical" : "MISMATCH");
+            h.identityOk = h.identityOk && run.match;
+            h.identity.push_back(run);
+        }
+    }
+    fs::remove_all(dir, ec);
+}
+
+/** The "huge" JSON section (inserted into BENCH_solver.json). */
+std::string
+hugeJson(const HugeResult &h)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "    \"n\": " << h.n << ", \"m\": " << h.m << ", \"q\": "
+       << h.q << ", \"shards\": " << h.shards << ",\n";
+    os << "    \"gen_seconds\": " << h.genSeconds
+       << ", \"select_seconds\": " << h.selectSeconds << ",\n";
+    os << "    \"dense_bytes\": " << static_cast<uint64_t>(h.denseBytes)
+       << ", \"peak_rss_delta_bytes\": "
+       << static_cast<uint64_t>(h.rssDeltaBytes)
+       << ", \"rss_limit_bytes\": "
+       << static_cast<uint64_t>(h.rssLimitBytes)
+       << ", \"rss_ok\": " << (h.rssOk ? "true" : "false") << ",\n";
+    os << "    \"nonzeros\": " << h.nonzeros << ", \"q_over_m\": "
+       << (h.m ? static_cast<double>(h.nonzeros) /
+                     static_cast<double>(h.m)
+               : 0.0)
+       << ",\n";
+    os << "    \"cols_scanned\": " << h.stats.colsScanned
+       << ", \"screen_admitted\": " << h.stats.screenAdmitted
+       << ", \"screen_dropped\": " << h.stats.screenDropped << ",\n";
+    os << "    \"bytes_mapped\": " << h.stats.bytesMapped
+       << ", \"kkt_rescreens\": " << h.stats.kktRescreens
+       << ", \"kkt_dots\": " << h.stats.kktDots
+       << ", \"peak_strong_size\": " << h.stats.peakStrongSize << ",\n";
+    os << "    \"identity_grid\": [\n";
+    for (size_t i = 0; i < h.identity.size(); ++i) {
+        const IdentityRun &r = h.identity[i];
+        os << "      {\"shards\": " << r.shards << ", \"parallel\": "
+           << (r.parallel ? "true" : "false") << ", \"seconds\": "
+           << r.seconds << ", \"bit_identical\": "
+           << (r.match ? "true" : "false") << "}"
+           << (i + 1 < h.identity.size() ? "," : "") << "\n";
+    }
+    os << "    ]\n";
+    os << "  }";
+    return os.str();
+}
+
 void
 writeJson(const std::string &path, const char *mode, size_t n, size_t m,
           size_t q, const std::vector<RunStats> &runs, double speedup,
-          const std::string &obs_json)
+          const std::string &obs_json, const std::string &huge_json)
 {
     std::ofstream os(path);
     os << "{\n";
@@ -167,6 +417,8 @@ writeJson(const std::string &path, const char *mode, size_t n, size_t m,
     os << "  \"mode\": \"" << mode << "\",\n";
     os << "  \"n\": " << n << ",\n  \"m\": " << m << ",\n  \"q\": " << q
        << ",\n";
+    if (!huge_json.empty())
+        os << "  \"huge\": " << huge_json << ",\n";
     os << "  \"configs\": [\n";
     for (size_t i = 0; i < runs.size(); ++i) {
         const RunStats &r = runs[i];
@@ -192,16 +444,56 @@ writeJson(const std::string &path, const char *mode, size_t n, size_t m,
 int
 main(int argc, char **argv)
 {
+    // Snapshot before any allocation: the huge phase's RSS gate is a
+    // delta against this (and the huge phase runs before everything
+    // else, since ru_maxrss never decreases).
+    const double baseline_rss = peakRssBytes();
+
     bool smoke = false;
+    bool huge = false;
     int reps = 1;
     std::string out = "BENCH_solver.json";
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
+        else if (std::strcmp(argv[i], "--huge") == 0)
+            huge = true;
         else if (std::strncmp(argv[i], "--reps=", 7) == 0)
             reps = std::atoi(argv[i] + 7);
         else if (std::strncmp(argv[i], "--out=", 6) == 0)
             out = argv[i] + 6;
+    }
+
+    const auto obs_before = bench::obsCounters();
+
+    HugeResult hugeResult;
+    std::string huge_json;
+    bool huge_ok = true;
+    if (huge) {
+        std::printf("bench_perf_solver: out-of-core phase%s\n",
+                    smoke ? " [smoke]" : "");
+        runHugePhase(smoke, baseline_rss, hugeResult);
+        runIdentityGrid(smoke, hugeResult);
+        huge_json = hugeJson(hugeResult);
+        huge_ok = hugeResult.selectOk && hugeResult.rssOk &&
+                  hugeResult.identityOk;
+    }
+    if (huge && smoke) {
+        // The layered smoke bench already runs as perf.solver_smoke;
+        // the huge smoke ctest only guards the out-of-core path.
+        writeJson(out, "huge_smoke", hugeResult.n, hugeResult.m,
+                  hugeResult.q, {}, 0.0,
+                  bench::obsDeltaJson(obs_before), huge_json);
+        std::printf("wrote %s\n", out.c_str());
+        if (!huge_ok) {
+            std::fprintf(stderr,
+                         "FAIL: out-of-core phase (select=%d rss=%d "
+                         "identity=%d)\n",
+                         hugeResult.selectOk, hugeResult.rssOk,
+                         hugeResult.identityOk);
+            return 1;
+        }
+        return 0;
     }
 
     // N1ish-sized: ~24k candidate signals, Q at the paper's Fig. 10
@@ -215,7 +507,6 @@ main(int argc, char **argv)
                 q, reps, smoke ? " [smoke]" : "");
     const BitColumnMatrix X = makeToggleMatrix(n, m, 0xa9011c);
     const std::vector<float> y = makeLabels(X, m / 80 + 8, 0x5eed);
-    const auto obs_before = bench::obsCounters();
 
     const LayerConfig layers[] = {
         {"baseline", false, false, false},
@@ -241,8 +532,10 @@ main(int argc, char **argv)
 
     const double speedup = runs.front().seconds / runs.back().seconds;
     std::printf("speedup (all vs baseline): %.2fx\n", speedup);
-    writeJson(out, smoke ? "smoke" : "full", n, m, q, runs, speedup,
-              bench::obsDeltaJson(obs_before));
+    const char *mode =
+        huge ? "full+huge" : (smoke ? "smoke" : "full");
+    writeJson(out, mode, n, m, q, runs, speedup,
+              bench::obsDeltaJson(obs_before), huge_json);
     std::printf("wrote %s\n", out.c_str());
 
     bool ok = true;
@@ -251,6 +544,14 @@ main(int argc, char **argv)
     if (!ok) {
         std::fprintf(stderr, "FAIL: optimized configurations changed "
                              "the selected support\n");
+        return 1;
+    }
+    if (!huge_ok) {
+        std::fprintf(stderr,
+                     "FAIL: out-of-core phase (select=%d rss=%d "
+                     "identity=%d)\n",
+                     hugeResult.selectOk, hugeResult.rssOk,
+                     hugeResult.identityOk);
         return 1;
     }
     // Timing gate: generous in smoke mode (shared CI machines), the

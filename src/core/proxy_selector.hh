@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "ml/coordinate_descent.hh"
+#include "ml/sharded_view.hh"
 #include "ml/solver_path.hh"
 
 namespace apollo {
@@ -55,6 +56,41 @@ struct ProxySelection
 ProxySelection selectProxies(const FeatureView &X,
                              std::span<const float> y,
                              const ProxySelectorConfig &config);
+
+/** Per-shard accounting of one sharded selection run (mirrors the
+ *  apollo.solver.shard.* counters). */
+struct ShardSelectionStats
+{
+    uint32_t shardCount = 0;
+    uint64_t colsScanned = 0;
+    /** Columns the first-path-point strong rule admits/drops (summed
+     *  over shards; the per-shard split feeds the admit-rate
+     *  histogram). */
+    uint64_t screenAdmitted = 0;
+    uint64_t screenDropped = 0;
+    uint64_t bytesMapped = 0;
+    /** KKT verification passes that re-screened rejected columns. */
+    uint64_t kktRescreens = 0;
+    uint64_t kktDots = 0;
+    /** Peak columns held hot in RAM (largest strong set of the
+     *  search). */
+    uint64_t peakStrongSize = 0;
+};
+
+/**
+ * Out-of-core proxy selection over a memory-mapped shard set
+ * (docs/INTERNALS.md §13): one fused streaming screen pass per shard
+ * (deterministic shard-order merge of the per-column stats), then the
+ * standard warm-started MCP path on a seeded CdSolver whose sweeps
+ * touch only the strong set. The selected support and weights are
+ * bit-identical to selectProxies() on the same matrix held in RAM,
+ * at any shard count and thread count.
+ */
+StatusOr<ProxySelection>
+selectProxiesSharded(const MappedShardSet &shards,
+                     std::span<const float> y,
+                     const ProxySelectorConfig &config,
+                     ShardSelectionStats *stats = nullptr);
 
 } // namespace apollo
 

@@ -1,0 +1,112 @@
+#include "gen/synthetic_toggles.hh"
+
+#include <algorithm>
+
+#include "util/bitvec_kernels.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/thread_pool.hh"
+
+namespace apollo {
+
+void
+fillSyntheticToggleColumn(uint64_t *words, size_t rows, uint64_t seed,
+                          uint64_t col)
+{
+    Xoshiro256StarStar rng(hashCombine(seed, col));
+    const size_t wpc = (rows + 63) / 64;
+    const uint64_t tail_mask =
+        (rows & 63) ? ((1ULL << (rows & 63)) - 1) : ~0ULL;
+    const double u = rng.nextDouble();
+    int ands = 0; // toggle rate 2^-(ands+1)
+    bool dense = false;
+    if (u < 0.02)
+        dense = true; // ~0.75
+    else if (u < 0.07)
+        ands = 0; // 0.5
+    else if (u < 0.27)
+        ands = 1; // 0.25
+    else if (u < 0.55)
+        ands = 2; // 0.125
+    else if (u < 0.80)
+        ands = 3; // 0.0625
+    else if (u < 0.93)
+        ands = 4; // 0.031
+    else
+        ands = 5; // 0.016
+    for (size_t k = 0; k < wpc; ++k) {
+        uint64_t word = rng();
+        if (dense)
+            word |= rng();
+        for (int t = 0; t < ands; ++t)
+            word &= rng();
+        words[k] = word;
+    }
+    words[wpc - 1] &= tail_mask;
+}
+
+BitColumnMatrix
+makeSyntheticToggleBlock(size_t rows, uint64_t first_col, size_t n_cols,
+                         uint64_t seed)
+{
+    BitColumnMatrix block(rows, n_cols);
+    for (size_t c = 0; c < n_cols; ++c)
+        fillSyntheticToggleColumn(block.colWordsMutable(c), rows, seed,
+                                  first_col + c);
+    return block;
+}
+
+std::vector<float>
+makeSyntheticLabels(size_t rows, size_t cols, size_t planted,
+                    uint64_t seed, uint64_t label_seed)
+{
+    APOLLO_REQUIRE(planted >= 1 && planted <= cols,
+                   "implausible planted support");
+    Xoshiro256StarStar rng(label_seed);
+    std::vector<float> y(rows, 2.0f);
+    const size_t wpc = (rows + 63) / 64;
+    std::vector<uint64_t> scratch(wpc);
+    for (size_t p = 0; p < planted; ++p) {
+        const auto j = static_cast<uint64_t>(p * cols / planted);
+        const auto wj = static_cast<float>(0.4 + 1.6 * rng.nextDouble());
+        fillSyntheticToggleColumn(scratch.data(), rows, seed, j);
+        bitkernels::axpyWords(scratch.data(), wpc, rows, wj, y.data());
+    }
+    for (float &v : y)
+        v += static_cast<float>(0.05 * rng.nextGaussian());
+    return y;
+}
+
+Status
+writeSyntheticShards(const std::string &base, size_t rows, size_t cols,
+                     uint32_t shards, uint64_t seed, size_t block_cols,
+                     ThreadPool *pool)
+{
+    StatusOr<ShardSetWriter> w =
+        ShardSetWriter::open(base, rows, cols, shards);
+    if (!w.ok())
+        return w.status();
+    if (block_cols == 0)
+        block_cols = 1;
+    if (pool == nullptr)
+        pool = &ThreadPool::global();
+    BitColumnMatrix block(rows, std::min(block_cols, cols));
+    for (uint64_t c0 = 0; c0 < cols; c0 += block_cols) {
+        const size_t run =
+            static_cast<size_t>(std::min<uint64_t>(block_cols,
+                                                   cols - c0));
+        // Each column is a pure function of (seed, global column), so
+        // the fan-out is deterministic at any pool size.
+        pool->parallelFor(run, [&](size_t begin, size_t end) {
+            for (size_t c = begin; c < end; ++c)
+                fillSyntheticToggleColumn(block.colWordsMutable(c), rows,
+                                          seed, c0 + c);
+        });
+        Status st = w->appendRaw(block.colWords(0), run);
+        if (!st.ok())
+            return st;
+    }
+    return w->finish();
+}
+
+} // namespace apollo

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Counter-seeded synthesis of paper-scale toggle matrices. APOLLO's
+ * substrate is M > 5e5 candidate RTL signals; benchmarking selection
+ * at that scale needs an N x M toggle matrix that is never resident.
+ * Column j here is a pure function of (seed, j) — a private
+ * Xoshiro256** stream seeded with hashCombine(seed, j), the same
+ * counter-seeding idiom the GA pipeline uses for its per-slot
+ * streams — so the matrix can be generated in bounded column blocks,
+ * in any block granularity and on any thread count, yielding
+ * bit-identical bytes.
+ *
+ * Column density classes mirror bench_perf_solver's N1ish synthetic
+ * design: rare control toggles (~2%) up to hot gated-clock nets
+ * (~75%), drawn per column (AND-ing k random words gives toggle rate
+ * 2^-k, OR-ing two gives 3/4). Labels come from a planted sparse
+ * power model whose columns are regenerated on demand, so building y
+ * costs O(planted * N), not O(M * N).
+ */
+
+#ifndef APOLLO_GEN_SYNTHETIC_TOGGLES_HH
+#define APOLLO_GEN_SYNTHETIC_TOGGLES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/shard_store.hh"
+#include "util/bitvec.hh"
+#include "util/status.hh"
+
+namespace apollo {
+
+class ThreadPool;
+
+/** Fill one packed column ((rows+63)/64 words, zero tail) as the pure
+ *  function of (seed, col). */
+void fillSyntheticToggleColumn(uint64_t *words, size_t rows,
+                               uint64_t seed, uint64_t col);
+
+/** Materialize columns [first_col, first_col + n_cols) as a block.
+ *  Blocked calls concatenate to the same bytes as one big call. */
+BitColumnMatrix makeSyntheticToggleBlock(size_t rows, uint64_t first_col,
+                                         size_t n_cols, uint64_t seed);
+
+/**
+ * Labels for the planted sparse model over the synthetic matrix:
+ * y = 2 + sum_p w_p * x_{j_p} + 0.05 * gaussian noise, with
+ * j_p = p * cols / planted and w_p in [0.4, 2.0). Only the planted
+ * columns are regenerated; the matrix itself is never materialized.
+ */
+std::vector<float> makeSyntheticLabels(size_t rows, size_t cols,
+                                       size_t planted, uint64_t seed,
+                                       uint64_t label_seed);
+
+/**
+ * Stream the full synthetic matrix into an APSH shard set, one
+ * bounded column block in RAM at a time (block generation fans over
+ * the pool; output bytes are thread-count independent).
+ */
+Status writeSyntheticShards(const std::string &base, size_t rows,
+                            size_t cols, uint32_t shards, uint64_t seed,
+                            size_t block_cols = 4096,
+                            ThreadPool *pool = nullptr);
+
+} // namespace apollo
+
+#endif // APOLLO_GEN_SYNTHETIC_TOGGLES_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ml/sharded_view.hh"
 #include "obs/metrics.hh"
 #include "util/bitvec_kernels.hh"
 #include "util/logging.hh"
@@ -16,6 +17,43 @@ namespace {
  *  the sweep cost they save. */
 constexpr size_t kScreenMinCols = 64;
 constexpr size_t kParallelMinCols = 128;
+/**
+ * Batched gradient passes and coordinate sweeps release the pages of
+ * the columns they touch in chunks (FeatureView::releaseColumns), so
+ * a pass over an out-of-core view never accumulates the payload in
+ * RAM. A chunk is cut when it reaches kReleaseChunkCols columns OR
+ * when it spans more than kReleaseSpanBytes of the packed column
+ * space — the span bound is what actually caps the transient
+ * footprint: a fault on a cached file maps the whole containing
+ * page-cache folio (megabytes on large-folio kernels), so the
+ * resident spill between releases tracks the span the chunk's columns
+ * cover, not their count. Resident views devirtualize releaseColumns
+ * to a no-op and see only the loop restructuring.
+ */
+constexpr size_t kReleaseChunkCols = 2048;
+constexpr uint64_t kReleaseSpanBytes = 4 * 1024 * 1024;
+
+/** Packed bytes per column (ceil(rows/64) words of 8 bytes) — the
+ *  layout both bit views serve. */
+uint64_t
+packedBytesPerCol(size_t rows)
+{
+    return ((rows + 63) / 64) * sizeof(uint64_t);
+}
+
+/** End of the adaptive release chunk starting at @p c0 (exclusive
+ *  upper bound @p end): bounded in count and in spanned bytes. */
+size_t
+releaseChunkEnd(std::span<const uint32_t> cols, size_t c0, size_t end,
+                uint64_t bytes_per_col)
+{
+    size_t c1 = c0 + 1;
+    while (c1 < end && c1 - c0 < kReleaseChunkCols &&
+           static_cast<uint64_t>(cols[c1] - cols[c0]) * bytes_per_col <
+               kReleaseSpanBytes)
+        ++c1;
+    return c1;
+}
 
 /**
  * Relative slack applied to the Cauchy-Schwarz certification bound so
@@ -51,6 +89,41 @@ CdResult::support() const
 CdSolver::CdSolver(const FeatureView &X, std::span<const float> y)
     : CdSolver(X, y, Options())
 {}
+
+CdSolver::CdSolver(const FeatureView &X, std::span<const float> y,
+                   Options options, SolverSeed seed)
+    : CdSolver(X, y, options)
+{
+    const size_t m = X.cols();
+    APOLLO_REQUIRE(seed.gradY.size() == m, "solver seed arity mismatch");
+    APOLLO_REQUIRE(seed.lambdaMax >= 0.0,
+                   "solver seed lacks lambdaMax");
+    lambdaMax_ = seed.lambdaMax;
+    // Install the seed as the anchored gradient cache at the centered
+    // cold residual r = y - float(mean(y)) — the residual the first
+    // fit screens at, now that fitImpl absorbs the mean before the
+    // cold bootstrap. Each anchor holds the exact <x_j, r> with zero
+    // accumulated mean shift and drift, mirroring the state
+    // bootstrapGradCache() leaves behind. The first fit's intercept
+    // update reproduces this exact residual (same double mean over the
+    // same floats, same float subtraction), so advanceDriftAccount(r)
+    // sees r == lastResidual_ and adds exactly zero, and every
+    // subsequent certification bound matches the unseeded solver bit
+    // for bit. The seed contract assumes fitIntercept (every path
+    // driver fits one); a no-intercept fit would screen the raw
+    // residual instead.
+    cachedDot_ = std::move(seed.gradY);
+    anchorMean_.assign(m, 0.0);
+    anchorDrift_.assign(m, 0.0);
+    meanAcc_ = 0.0;
+    driftAcc_ = 0.0;
+    pendingDrift_ = 0.0;
+    const auto muf = static_cast<float>(yMean_);
+    lastResidual_.resize(y.size());
+    for (size_t i = 0; i < y.size(); ++i)
+        lastResidual_[i] = y[i] - muf;
+    gradCacheValid_ = true;
+}
 
 CdSolver::CdSolver(const FeatureView &X, std::span<const float> y,
                    Options options)
@@ -108,8 +181,18 @@ CdSolver::columnGradients(std::span<const uint32_t> cols, const float *r,
 {
     if (cols.empty())
         return;
+    const uint64_t bpc = packedBytesPerCol(X_.rows());
     auto body = [&](size_t begin, size_t end) {
-        X_.dotColumns(cols.subspan(begin, end - begin), r, out + begin);
+        // Chunked so out-of-core views can drop each chunk's pages as
+        // soon as its dots are done; resident views see a no-op.
+        size_t c = begin;
+        while (c < end) {
+            const size_t e = releaseChunkEnd(cols, c, end, bpc);
+            const auto chunk = cols.subspan(c, e - c);
+            X_.dotColumns(chunk, r, out + c);
+            X_.releaseColumns(chunk);
+            c = e;
+        }
     };
     if (parallel_ && cols.size() >= kParallelMinCols)
         pool_->parallelFor(cols.size(), body);
@@ -123,9 +206,16 @@ CdSolver::columnGradientsFast(std::span<const uint32_t> cols,
 {
     if (cols.empty())
         return;
+    const uint64_t bpc = packedBytesPerCol(X_.rows());
     auto body = [&](size_t begin, size_t end) {
-        X_.dotColumnsFast(cols.subspan(begin, end - begin), r,
-                          out + begin);
+        size_t c = begin;
+        while (c < end) {
+            const size_t e = releaseChunkEnd(cols, c, end, bpc);
+            const auto chunk = cols.subspan(c, e - c);
+            X_.dotColumnsFast(chunk, r, out + c);
+            X_.releaseColumns(chunk);
+            c = e;
+        }
     };
     if (parallel_ && cols.size() >= kParallelMinCols)
         pool_->parallelFor(cols.size(), body);
@@ -233,26 +323,45 @@ CdSolver::sweepOver(const View &X, std::span<const uint32_t> cols,
     const auto n = static_cast<double>(X.rows());
     const bool anchor = gradCacheValid_;
     double max_delta = 0.0;
-    for (uint32_t j : cols) {
-        const double a = a_[j];
-        const double w_old = w[j];
-        const double rho = X.dot(j, r.data()) / n + a * w_old;
-        if (anchor) {
-            // Recycle this exact dot as column j's new anchor; the
-            // movement between the last accounting event and this
-            // moment is over-covered by pendingDrift_.
-            cachedDot_[j] = (rho - a * w_old) * n;
-            anchorMean_[j] = meanAcc_;
-            anchorDrift_[j] = driftAcc_ - pendingDrift_;
+    // Chunked like the batched gradient passes: an out-of-core view
+    // drops each chunk's pages once the sweep has moved past it, so a
+    // sweep holds one chunk's span resident instead of its column
+    // set's — whose page union across a whole lambda path is the
+    // entire payload. Even the small active-set sweeps release: with
+    // folio-granular faulting, a handful of support columns scattered
+    // over a paper-scale matrix can otherwise pin hundreds of
+    // megabytes. Refaults come from the page cache and are cheap next
+    // to the sweep's own arithmetic. Resident views devirtualize
+    // releaseColumns to the no-op.
+    const uint64_t bpc = packedBytesPerCol(X.rows());
+    size_t c0 = 0;
+    while (c0 < cols.size()) {
+        const size_t c1 = releaseChunkEnd(cols, c0, cols.size(), bpc);
+        const auto chunk = cols.subspan(c0, c1 - c0);
+        for (uint32_t j : chunk) {
+            const double a = a_[j];
+            const double w_old = w[j];
+            const double rho = X.dot(j, r.data()) / n + a * w_old;
+            if (anchor) {
+                // Recycle this exact dot as column j's new anchor; the
+                // movement between the last accounting event and this
+                // moment is over-covered by pendingDrift_.
+                cachedDot_[j] = (rho - a * w_old) * n;
+                anchorMean_[j] = meanAcc_;
+                anchorDrift_[j] = driftAcc_ - pendingDrift_;
+            }
+            const double w_new = coordinateUpdate(rho, a, cfg.penalty);
+            if (w_new != w_old) {
+                X.axpy(j, static_cast<float>(w_old - w_new), r.data());
+                w[j] = static_cast<float>(w_new);
+                pendingDrift_ += std::abs(w_new - w_old) * xNorm_[j];
+                max_delta =
+                    std::max(max_delta,
+                             std::abs(w_new - w_old) * std::sqrt(a));
+            }
         }
-        const double w_new = coordinateUpdate(rho, a, cfg.penalty);
-        if (w_new != w_old) {
-            X.axpy(j, static_cast<float>(w_old - w_new), r.data());
-            w[j] = static_cast<float>(w_new);
-            pendingDrift_ += std::abs(w_new - w_old) * xNorm_[j];
-            max_delta = std::max(max_delta,
-                                 std::abs(w_new - w_old) * std::sqrt(a));
-        }
+        X.releaseColumns(chunk);
+        c0 = c1;
     }
     return max_delta;
 }
@@ -282,12 +391,41 @@ CdSolver::fitImpl(const View &X, const CdConfig &config,
         for (float &v : r)
             v -= b;
     }
-    for (size_t j = 0; j < m; ++j)
-        if (res.w[j] != 0.0f)
-            X.axpy(j, -res.w[j], r.data());
+    // Warm-start reconstruction releases the support columns it
+    // touches in span-bounded chunks, like every other pass: a
+    // support scattered over an out-of-core payload would otherwise
+    // pin one page-cache folio per column for the rest of the fit.
+    exact_.clear();
+    const uint64_t warm_bpc = packedBytesPerCol(n);
+    for (size_t j = 0; j < m; ++j) {
+        if (res.w[j] == 0.0f)
+            continue;
+        X.axpy(j, -res.w[j], r.data());
+        exact_.push_back(static_cast<uint32_t>(j));
+        if (exact_.size() >= kReleaseChunkCols ||
+            static_cast<uint64_t>(j - exact_.front()) * warm_bpc >=
+                kReleaseSpanBytes) {
+            X.releaseColumns(exact_);
+            exact_.clear();
+        }
+    }
+    X.releaseColumns(exact_);
 
     const auto &pen = config.penalty;
     const auto nD = static_cast<double>(n);
+
+    // Absorb the residual mean BEFORE screening. The strong rule's
+    // reference gradients (lambdaMax and the per-point path residuals)
+    // are all intercept-absorbed quantities; screening the raw
+    // residual instead would inflate every |<x_j, r>| by
+    // ~mean(r) * popcount(j), which for mean-heavy labels (power
+    // traces sit far above zero) clears the threshold for every
+    // column and silently degrades the strong set to "all of them".
+    // Centering first makes the cold-start screen an actual
+    // correlation prefilter — the property the out-of-core path's RSS
+    // bound rests on (docs/INTERNALS.md §13).
+    if (config.fitIntercept)
+        updateIntercept(r, res.intercept);
 
     // Strong-rule screening: keep warm-start nonzeros plus columns
     // whose gradient at the warm start may clear 2*lambda - lambdaRef.
@@ -410,12 +548,28 @@ CdSolver::fitImpl(const View &X, const CdConfig &config,
                 rnorm2 += static_cast<double>(v) * v;
             const double err_unit =
                 bitkernels::kDotFastRelErr * std::sqrt(rnorm2);
+            // The exact recomputes refault pages the fast pass just
+            // released; drop them again in chunks (ascending — a
+            // subsequence of `need`) so borderline columns and their
+            // fault-around spill don't accrete across the pass.
+            exact_.clear();
+            const uint64_t bpc = packedBytesPerCol(n);
             for (size_t k = 0; k < need.size(); ++k) {
                 const uint32_t j = need[k];
                 if (std::abs(std::abs(gradBuf_[k]) - lambda_n) <=
-                    err_unit * xNorm_[j])
+                    err_unit * xNorm_[j]) {
                     gradBuf_[k] = X_.dot(j, r.data());
+                    exact_.push_back(j);
+                    if (exact_.size() >= kReleaseChunkCols ||
+                        static_cast<uint64_t>(j - exact_.front()) *
+                                bpc >=
+                            kReleaseSpanBytes) {
+                        X_.releaseColumns(exact_);
+                        exact_.clear();
+                    }
+                }
             }
+            X_.releaseColumns(exact_);
             anchorColumns(need, gradBuf_.data(), err_unit);
         }
         violators.clear();
@@ -450,6 +604,7 @@ CdSolver::fitImpl(const View &X, const CdConfig &config,
     res.kktPasses = kkt_passes;
     res.kktDots = kkt_dots;
     res.screenedOut = static_cast<uint32_t>(live_.size() - strong.size());
+    res.strongSize = static_cast<uint32_t>(strong.size());
     APOLLO_COUNT("apollo.solver.fits", 1);
     APOLLO_COUNT("apollo.solver.sweeps", sweeps);
     APOLLO_COUNT("apollo.solver.kkt_passes", kkt_passes);
@@ -475,6 +630,8 @@ CdSolver::fit(const CdConfig &config, const CdResult *warm_start)
     // concrete (final) view type, so the per-coordinate dot/axpy calls
     // devirtualize. Unknown view types take the generic virtual path.
     if (const auto *v = dynamic_cast<const BitFeatureView *>(&X_))
+        return fitImpl(*v, config, warm_start);
+    if (const auto *v = dynamic_cast<const ShardedFeatureView *>(&X_))
         return fitImpl(*v, config, warm_start);
     if (const auto *v = dynamic_cast<const CountFeatureView *>(&X_))
         return fitImpl(*v, config, warm_start);

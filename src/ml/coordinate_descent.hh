@@ -84,10 +84,39 @@ struct CdResult
     uint32_t kktDots = 0;
     /** Live columns excluded from sweeps by the final strong set. */
     uint32_t screenedOut = 0;
+    /** Columns in the final strong set (the working set kept hot in
+     *  RAM — the out-of-core path's resident column count). */
+    uint32_t strongSize = 0;
 
     size_t nonzeros() const;
     /** Indices of nonzero weights, ascending. */
     std::vector<uint32_t> support() const;
+};
+
+/**
+ * Precomputed construction-time statistics for CdSolver, harvested by
+ * an external streaming pass (ShardedFeatureView::screen()). Seeding
+ * skips the solver's own lambdaMax pass and gradient-cache bootstrap —
+ * the two whole-matrix scans that would otherwise fault every cold
+ * column back off disk. The values must be EXACTLY what the solver's
+ * own passes produce (same kernels, same inputs): gradY[j] is
+ * <x_j, y - float(mean(y))> from bitkernels::dotWords — the gradient
+ * at the centered cold residual a fit screens at after its first
+ * intercept update — and lambdaMax is max_j |<x_j, y - mean(y)>| / N
+ * over live columns (the constructor's double-centered recipe). A
+ * cold-start fit on a seeded solver is then bit-identical to the
+ * unseeded one: the first intercept update reproduces the exact
+ * centered residual the seed was computed at, so the seeded anchor
+ * state matches the bootstrap's and the first drift accounting sees a
+ * zero increment.
+ */
+struct SolverSeed
+{
+    /** Exact <x_j, y - float(mean(y))> per column (cols() entries;
+     *  dead columns ignored). */
+    std::vector<double> gradY;
+    /** max_j |<x_j, y - mean(y)>| / N; < 0 means not provided. */
+    double lambdaMax = -1.0;
 };
 
 /**
@@ -111,6 +140,12 @@ class CdSolver
     CdSolver(const FeatureView &X, std::span<const float> y);
     CdSolver(const FeatureView &X, std::span<const float> y,
              Options options);
+    /** Seeded variant (see SolverSeed): adopts the precomputed
+     *  lambdaMax and installs gradY as the anchored gradient cache at
+     *  the r = y state, as if bootstrapGradCache had just run on a
+     *  cold residual. */
+    CdSolver(const FeatureView &X, std::span<const float> y,
+             Options options, SolverSeed seed);
 
     /**
      * Fit with @p config. If @p warm_start is non-null it must have
@@ -137,6 +172,8 @@ class CdSolver
     template <typename View>
     CdResult fitImpl(const View &X, const CdConfig &config,
                      const CdResult *warm_start);
+    /** One coordinate-descent sweep over @p cols, releasing the
+     *  backing pages of each swept chunk on out-of-core views. */
     template <typename View>
     double sweepOver(const View &X, std::span<const uint32_t> cols,
                      const CdConfig &cfg, std::vector<float> &w,
@@ -197,6 +234,8 @@ class CdSolver
     bool parallel_ = true;
     ThreadPool *pool_ = nullptr;
     std::vector<double> gradBuf_; ///< scratch for screening/KKT passes
+    /** Scratch: borderline columns refetched exactly per KKT pass. */
+    std::vector<uint32_t> exact_;
 
     /**
      * Per-column anchored gradient cache for screening and KKT

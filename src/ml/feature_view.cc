@@ -1,8 +1,38 @@
 #include "ml/feature_view.hh"
 
+#include <algorithm>
+
 #include "util/thread_pool.hh"
 
 namespace apollo {
+
+namespace {
+
+/** Row strip per moment-accumulation step: bounds the address range a
+ *  single inner loop touches so the pass composes with shard-local
+ *  column storage that is only mapped (or resident) a strip at a
+ *  time. Integer accumulation is associative, so any blocking yields
+ *  the identical sums. */
+constexpr size_t kMomentRowBlock = size_t{1} << 14;
+
+/** Columns per outer block: the construction pass walks the matrix in
+ *  bounded column windows rather than assuming all of it is
+ *  addressable at once. */
+constexpr size_t kMomentColBlock = 4096;
+
+/** Accumulate sum / sum-of-squares of c[begin, end) into (s, sq). */
+void
+accumulateCountMoments(const uint8_t *c, size_t begin, size_t end,
+                       uint64_t &s, uint64_t &sq)
+{
+    for (size_t i = begin; i < end; ++i) {
+        const uint64_t v = c[i];
+        s += v;
+        sq += v * v;
+    }
+}
+
+} // namespace
 
 CountFeatureView::CountFeatureView(const CountColumnMatrix &matrix,
                                    float scale)
@@ -10,26 +40,30 @@ CountFeatureView::CountFeatureView(const CountColumnMatrix &matrix,
       colSumSq_(matrix.cols(), 0)
 {
     const size_t n = matrix_.rows();
-    auto body = [&](size_t begin, size_t end) {
-        for (size_t col = begin; col < end; ++col) {
-            const uint8_t *c = matrix_.colData(col);
-            uint64_t s = 0;
-            uint64_t sq = 0;
-            for (size_t i = 0; i < n; ++i) {
-                const uint64_t v = c[i];
-                s += v;
-                sq += v * v;
+    const size_t m = matrix_.cols();
+    const bool parallel = n * m >= (1u << 20);
+    for (size_t col0 = 0; col0 < m; col0 += kMomentColBlock) {
+        const size_t run = std::min(kMomentColBlock, m - col0);
+        auto body = [&](size_t begin, size_t end) {
+            for (size_t k = begin; k < end; ++k) {
+                const size_t col = col0 + k;
+                const uint8_t *c = matrix_.colData(col);
+                uint64_t s = 0;
+                uint64_t sq = 0;
+                for (size_t r0 = 0; r0 < n; r0 += kMomentRowBlock)
+                    accumulateCountMoments(
+                        c, r0, std::min(n, r0 + kMomentRowBlock), s, sq);
+                colSum_[col] = s;
+                colSumSq_[col] = sq;
             }
-            colSum_[col] = s;
-            colSumSq_[col] = sq;
-        }
-    };
-    // One column pass, fanned over the pool for big matrices; outputs
-    // are per-column so the result is chunking-independent.
-    if (n * matrix_.cols() >= (1u << 20))
-        parallelFor(matrix_.cols(), body);
-    else
-        body(0, matrix_.cols());
+        };
+        // Fanned over the pool per block; outputs are per-column so
+        // the result is chunking- and thread-count-independent.
+        if (parallel)
+            parallelFor(run, body);
+        else
+            body(0, run);
+    }
 }
 
 } // namespace apollo

@@ -75,6 +75,18 @@ class FeatureView
     }
 
     /**
+     * Hint that the caller is done with these columns for now. Resident
+     * views ignore it; out-of-core views may drop the backing pages so
+     * a batched gradient pass over cold columns never accumulates the
+     * whole payload in RAM. Purely a residency hint — a released column
+     * remains readable (it refaults from the file).
+     */
+    virtual void releaseColumns(std::span<const uint32_t> cols) const
+    {
+        (void)cols;
+    }
+
+    /**
      * Dense prediction: out[i] = intercept + sum_j w[j] * x[i][j].
      * @p w has cols() entries (zeros skipped).
      */

@@ -1,0 +1,228 @@
+#include "ml/sharded_view.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace apollo {
+
+namespace {
+
+/** Mirrors the certification slack in coordinate_descent.cc — the
+ *  admission estimate must err on the same side as the solver. */
+constexpr double kBoundSlack = 1.0 + 1e-8;
+
+constexpr size_t kParallelMinCols = 128;
+
+/** Widening applied to each released column run. A fault on a cached
+ *  file maps the entire containing page-cache folio (up to 2 MiB on
+ *  kernels with large-folio support), plus fault-around/readahead —
+ *  so the pages a touch made resident extend up to a folio's width
+ *  past the column itself. The margin covers one max-size folio on
+ *  each side. See ShardedFeatureView::releaseColumns. */
+constexpr uint64_t kReleaseMarginBytes = 2 * 1024 * 1024;
+
+} // namespace
+
+std::vector<uint64_t>
+ShardScreenStats::admittedAtFirstPoint(double lambda_factor) const
+{
+    // First point of a geometric path: lambda = factor * lambdaMax,
+    // screened against lambdaRef = lambdaMax at the centered cold
+    // residual, so the strong rule admits
+    // |<x_j, y - float(mean(y))>| * slack >= (2*factor - 1)*lambdaMax*N
+    // (plus warm-start nonzeros, which are none at the path head).
+    const double thresh = (2.0 * lambda_factor - 1.0) * lambdaMax *
+                          static_cast<double>(rows);
+    std::vector<uint64_t> admitted(firstCol.size(), 0);
+    if (firstCol.empty())
+        return admitted;
+    uint32_t k = 0;
+    for (size_t j = 0; j < gradY.size(); ++j) {
+        while (k + 1 < firstCol.size() && j >= firstCol[k + 1])
+            k++;
+        if (popcount[j] > 0 &&
+            (thresh <= 0.0 || std::abs(gradY[j]) * kBoundSlack >= thresh))
+            admitted[k]++;
+    }
+    return admitted;
+}
+
+ShardedFeatureView::ShardedFeatureView(const MappedShardSet &set)
+    : ShardedFeatureView(set, Options())
+{}
+
+ShardedFeatureView::ShardedFeatureView(const MappedShardSet &set,
+                                       Options options)
+    : set_(set), parallel_(options.parallel),
+      pool_(options.pool ? options.pool : &ThreadPool::global())
+{}
+
+void
+ShardedFeatureView::releaseColumns(std::span<const uint32_t> cols) const
+{
+    // Coalesce ascending runs of column ids into contiguous ranges and
+    // split each range along shard boundaries — one madvise per
+    // (run, shard) instead of one per column. Callers (the solver's
+    // chunked gradient passes) hand us sorted chunks.
+    //
+    // Each run is widened by a margin before release: a page fault on
+    // a cached file maps neighboring already-cached pages into the
+    // page table along with the one asked for — the whole containing
+    // page-cache folio (up to 2 MiB with large folios) plus the
+    // fault-around window. Releasing only the column's own pages
+    // would leave that spill mapped forever; the payload would
+    // quietly re-materialize at many times the touched footprint. The
+    // margin over-covers the spill; releasing a neighbor a later
+    // sweep still wants is just a cheap refault from the page cache.
+    const uint64_t bytes_per_col = set_.wordsPerCol() * sizeof(uint64_t);
+    const uint64_t margin = kReleaseMarginBytes / bytes_per_col + 1;
+    auto flush = [&](uint64_t first, uint64_t last) {
+        while (first <= last) {
+            const uint32_t k = set_.shardOf(first);
+            const uint64_t shard_end =
+                set_.shardFirst(k) + set_.shardCols(k) - 1;
+            const uint64_t run_last = std::min(last, shard_end);
+            set_.adviseColumns(k, first - set_.shardFirst(k),
+                               run_last - first + 1,
+                               MappedShardSet::Advice::DontNeed);
+            if (run_last == last)
+                break;
+            first = run_last + 1;
+        }
+    };
+    uint64_t lo = 0, hi = 0;
+    bool open = false;
+    size_t i = 0;
+    while (i < cols.size()) {
+        size_t j = i + 1;
+        while (j < cols.size() && cols[j] == cols[j - 1] + 1)
+            ++j;
+        const uint64_t first = cols[i] > margin ? cols[i] - margin : 0;
+        const uint64_t last =
+            std::min<uint64_t>(cols[j - 1] + margin, set_.cols() - 1);
+        if (open && first <= hi + 1) {
+            hi = std::max(hi, last); // widened runs overlap: merge
+        } else {
+            if (open)
+                flush(lo, hi);
+            lo = first;
+            hi = last;
+            open = true;
+        }
+        i = j;
+    }
+    if (open)
+        flush(lo, hi);
+}
+
+Status
+ShardedFeatureView::screen(std::span<const float> y)
+{
+    const size_t n = set_.rows();
+    const size_t m = set_.cols();
+    if (y.size() != n)
+        return Status::invalidArgument("screen labels have ", y.size(),
+                                       " rows, shard set has ", n);
+
+    // Two centered copies of y, each matching one solver recipe bit
+    // for bit. yc_path (double subtraction, then narrowed) is the
+    // constructor's yCentered_ — the lambdaMax harvested below must
+    // match CdSolver::lambdaMax() exactly. yc_cold (float subtraction
+    // of the narrowed mean) is the residual updateIntercept() leaves
+    // after a cold fit's first intercept step — the residual the
+    // solver bootstraps its gradient cache at, so the SolverSeed dots
+    // must be taken against exactly these floats. The two differ in
+    // the last ulp for some rows; mixing them up shifts borderline
+    // screening decisions and breaks seeded-vs-cold bit-identity.
+    double mu = 0.0;
+    for (float v : y)
+        mu += v;
+    mu /= static_cast<double>(n);
+    const auto muf = static_cast<float>(mu);
+    std::vector<float> yc_path(n);
+    std::vector<float> yc_cold(n);
+    for (size_t i = 0; i < n; ++i) {
+        yc_path[i] = static_cast<float>(y[i] - mu);
+        yc_cold[i] = y[i] - muf;
+    }
+
+    stats_ = ShardScreenStats();
+    stats_.rows = n;
+    stats_.popcount.assign(m, 0);
+    stats_.gradY.assign(m, 0.0);
+    stats_.colsScanned.assign(set_.shardCount(), 0);
+    stats_.firstCol.resize(set_.shardCount());
+    std::vector<double> abs_grad_yc(m, 0.0);
+    std::atomic<bool> tail_bad{false};
+
+    const size_t words = set_.wordsPerCol();
+    for (uint32_t k = 0; k < set_.shardCount(); ++k) {
+        const uint64_t first = set_.shardFirst(k);
+        const uint64_t count = set_.shardCols(k);
+        stats_.firstCol[k] = first;
+        set_.adviseShard(k, MappedShardSet::Advice::Sequential);
+        auto body = [&](size_t begin, size_t end) {
+            for (size_t c = begin; c < end; ++c) {
+                const uint64_t j = first + c;
+                if (!set_.columnTailClean(j)) {
+                    tail_bad.store(true, std::memory_order_relaxed);
+                    continue;
+                }
+                const uint64_t *w = set_.colWords(j);
+                uint64_t pop = 0;
+                for (size_t t = 0; t < words; ++t)
+                    pop += static_cast<uint64_t>(
+                        __builtin_popcountll(w[t]));
+                stats_.popcount[j] = pop;
+                if (pop == 0)
+                    continue; // dead column; solver drops it too
+                stats_.gradY[j] =
+                    bitkernels::dotWords(w, words, n, yc_cold.data());
+                abs_grad_yc[j] = std::abs(
+                    bitkernels::dotWords(w, words, n, yc_path.data()));
+            }
+        };
+        if (parallel_ && count >= kParallelMinCols)
+            pool_->parallelFor(count, body);
+        else
+            body(0, count);
+        stats_.colsScanned[k] = count;
+        stats_.bytesStreamed += count * words * sizeof(uint64_t);
+        // Drop this shard's pages before the next one streams in:
+        // peak RSS stays one shard wide. Columns the solver later
+        // admits refault on first touch and then stay hot.
+        set_.adviseShard(k, MappedShardSet::Advice::DontNeed);
+        // The solve phase that follows touches columns at random
+        // (strong-set sweeps, KKT spot checks). Default readahead
+        // turns every such touch into a ~128 KiB window that
+        // releaseColumns never covers, silently re-materializing the
+        // payload; RANDOM makes a fault bring exactly the page asked
+        // for, so residency stays what the solver actually touches.
+        set_.adviseShard(k, MappedShardSet::Advice::Random);
+    }
+    if (tail_bad.load(std::memory_order_relaxed)) {
+        // Error path only: re-scan sequentially to name the first
+        // offending column.
+        Status st = set_.validateTails();
+        if (!st.ok())
+            return st;
+        return Status::parseError("shard payload failed the zero-tail "
+                                  "contract");
+    }
+
+    // max over live columns of |<x_j, yc>| / N — same expression, and
+    // therefore the same double, as CdSolver::lambdaMax().
+    double best = 0.0;
+    for (size_t j = 0; j < m; ++j)
+        if (stats_.popcount[j] > 0)
+            best = std::max(best, abs_grad_yc[j] /
+                                      static_cast<double>(n));
+    stats_.lambdaMax = best;
+    return Status::okStatus();
+}
+
+} // namespace apollo

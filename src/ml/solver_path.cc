@@ -91,6 +91,8 @@ solveForTargetQ(CdSolver &solver, CdConfig base, size_t target_q,
             diag->totalSweeps += p.result.sweeps;
             diag->totalKktPasses += p.result.kktPasses;
             diag->totalKktDots += p.result.kktDots;
+            diag->peakStrongSize = std::max(
+                diag->peakStrongSize, size_t{p.result.strongSize});
         }
     }
 
@@ -139,6 +141,8 @@ solveForTargetQ(CdSolver &solver, CdConfig base, size_t target_q,
             diag->totalSweeps += mid.sweeps;
             diag->totalKktPasses += mid.kktPasses;
             diag->totalKktDots += mid.kktDots;
+            diag->peakStrongSize =
+                std::max(diag->peakStrongSize, size_t{mid.strongSize});
         }
         if (nnz == target_q) {
             if (diag) {

@@ -56,6 +56,14 @@ struct TargetQDiagnostics
     size_t totalKktPasses = 0;
     /** Exact screening/KKT gradient dots summed over every fit. */
     size_t totalKktDots = 0;
+    /**
+     * Largest strong set over every fit of the search — the peak
+     * working set swept each iteration. For the out-of-core sharded
+     * path this is the peak count of columns held hot in RAM while
+     * the remaining M - peakStrongSize stream from disk only for KKT
+     * certification.
+     */
+    size_t peakStrongSize = 0;
 };
 
 /**

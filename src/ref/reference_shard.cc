@@ -1,0 +1,76 @@
+#include "ref/reference_shard.hh"
+
+#include <cmath>
+
+namespace apollo::ref {
+
+RefScreenStats
+screenStats(const FeatureView &X, std::span<const float> y)
+{
+    const size_t n = X.rows();
+    const size_t m = X.cols();
+    RefScreenStats stats;
+    stats.popcount.assign(m, 0);
+    stats.gradY.assign(m, 0.0);
+
+    // Label mean in ascending row order (the solver's own recipe,
+    // transcribed).
+    double mu = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        mu += y[i];
+    mu /= static_cast<double>(n);
+    const auto muf = static_cast<float>(mu);
+
+    double best = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+        uint64_t pop = 0;
+        // Centered per the two solver recipes: dot_cold against
+        // y - float(mu) (the residual after a cold fit's first
+        // intercept update, float subtraction — what the strong rule
+        // screens), dot_path against float(y - mu) (the constructor's
+        // yCentered_, what lambdaMax maximizes over).
+        double dot_cold = 0.0;
+        double dot_path = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            const double x = X.value(i, j);
+            if (x == 0.0)
+                continue;
+            pop++;
+            dot_cold += x * static_cast<double>(y[i] - muf);
+            dot_path += x * static_cast<double>(
+                                static_cast<float>(y[i] - mu));
+        }
+        stats.popcount[j] = pop;
+        if (pop == 0)
+            continue;
+        stats.gradY[j] = dot_cold;
+        best = std::max(best,
+                        std::abs(dot_path) / static_cast<double>(n));
+    }
+    stats.lambdaMax = best;
+    return stats;
+}
+
+std::vector<bool>
+admittedAtFirstPoint(const RefScreenStats &stats, size_t rows,
+                     double lambda_factor)
+{
+    // Strong rule at the path head, transcribed from its definition:
+    // sweep j iff |<x_j, y - float(mean(y))>| >=
+    // (2*lambda1 - lambdaMax) * N with lambda1 = factor * lambdaMax
+    // (the gradient is taken at the centered cold residual, i.e. the
+    // intercept-only model the path starts from). The production screen applies a
+    // (1 + 1e-8) admission slack so rounding can only widen the
+    // strong set; the reference admits on the same side.
+    const double slack = 1.0 + 1e-8;
+    const double thresh = (2.0 * lambda_factor - 1.0) * stats.lambdaMax *
+                          static_cast<double>(rows);
+    std::vector<bool> admitted(stats.popcount.size(), false);
+    for (size_t j = 0; j < stats.popcount.size(); ++j)
+        admitted[j] = stats.popcount[j] > 0 &&
+                      (thresh <= 0.0 ||
+                       std::abs(stats.gradY[j]) * slack >= thresh);
+    return admitted;
+}
+
+} // namespace apollo::ref

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Naive reference for the sharded screen pass (ShardedFeatureView /
+ * docs/INTERNALS.md §13): per-bit double-precision transcriptions of
+ * the per-column statistics the fused out-of-core pass harvests —
+ * popcount, <x_j, y - float(mean(y))>, lambdaMax — plus the
+ * first-path-point strong
+ * rule admission test, all computed straight off FeatureView::value()
+ * with no packed words, no kernels, no shards, no threads. The
+ * production pass and this oracle share no arithmetic beyond the
+ * admission formula itself, which is transcribed here from the strong
+ * rule's definition rather than shared code.
+ */
+
+#ifndef APOLLO_REF_REFERENCE_SHARD_HH
+#define APOLLO_REF_REFERENCE_SHARD_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/feature_view.hh"
+
+namespace apollo::ref {
+
+/** Per-column screen statistics, naively computed. */
+struct RefScreenStats
+{
+    std::vector<uint64_t> popcount; ///< nonzero entries per column
+    /** <x_j, y - float(mean(y))>, ascending per-bit (the centered
+     *  cold residual the strong rule screens at). */
+    std::vector<double> gradY;
+    double lambdaMax = 0.0; ///< max_j |<x_j, yc>| / N (live)
+};
+
+/**
+ * Compute the screen statistics of (X, y) one element at a time, in
+ * ascending row order with double accumulation. Popcounts are integer
+ * and must match the production pass exactly; the dots differ from
+ * the vectorized kernels only by accumulation-order rounding, so the
+ * differential comparison is |ref - prod| <= tol * ||x_j|| * ||y||
+ * (the same bound the solver equivalence suite applies to the
+ * kernels themselves). The bit-identity half of the contract —
+ * sharded stats == BitFeatureView-kernel stats — is checked against
+ * the production kernels directly, since both sides are defined to
+ * run the identical kernel on the identical words.
+ */
+RefScreenStats screenStats(const FeatureView &X,
+                           std::span<const float> y);
+
+/**
+ * First-path-point strong-rule admission (the out-of-core prefilter):
+ * at the head of a geometric lambda path (lambda = factor *
+ * lambdaMax, screened against lambdaRef = lambdaMax, zero warm
+ * start), column j is swept iff
+ *   |<x_j, y - float(mean(y))>| * slack >=
+ *   (2 * factor - 1) * lambdaMax * N.
+ * Returns one flag per column (dead columns are never admitted).
+ */
+std::vector<bool> admittedAtFirstPoint(const RefScreenStats &stats,
+                                       size_t rows,
+                                       double lambda_factor);
+
+} // namespace apollo::ref
+
+#endif // APOLLO_REF_REFERENCE_SHARD_HH

@@ -31,31 +31,132 @@ readPod(std::istream &is, T &value)
 
 } // namespace
 
+DatasetStreamWriter::DatasetStreamWriter(std::ostream &os, uint64_t rows,
+                                         uint64_t cols)
+    : os_(&os), rows_(rows), cols_(cols),
+      wordsPerCol_(static_cast<size_t>((rows + 63) / 64))
+{}
+
+StatusOr<DatasetStreamWriter>
+DatasetStreamWriter::open(std::ostream &os, uint64_t rows, uint64_t cols)
+{
+    // Mirror of the decode-side bounds: both dimensions AND the
+    // product are checked before anything is emitted, so the writer
+    // can never produce a header the loader rejects — and a huge
+    // generation run fails fast instead of after streaming gigabytes.
+    // (rows * cols cannot overflow: both factors are individually
+    // bounded below 2^28 first.)
+    if (rows == 0 || cols == 0 || rows >= (1ULL << 28) ||
+        cols >= (1ULL << 24) || rows * cols > (1ULL << 33))
+        return Status::invalidArgument("implausible dataset dimensions ",
+                                       rows, " x ", cols);
+    DatasetStreamWriter w(os, rows, cols);
+    os.write(magic, sizeof(magic));
+    writePod(os, version);
+    writePod<uint64_t>(os, rows);
+    writePod<uint64_t>(os, cols);
+    if (!os)
+        return Status::ioError("dataset write failed");
+    return StatusOr<DatasetStreamWriter>(std::move(w));
+}
+
+Status
+DatasetStreamWriter::appendColumnsRaw(const uint64_t *words,
+                                      uint64_t n_cols)
+{
+    if (finished_ || labelsWritten_)
+        return Status::invalidArgument(
+            "dataset columns must precede labels");
+    if (n_cols > cols_ - nextCol_)
+        return Status::invalidArgument(
+            "dataset append of ", n_cols, " columns past declared ",
+            cols_, " (", nextCol_, " written)");
+    os_->write(reinterpret_cast<const char *>(words),
+               static_cast<std::streamsize>(n_cols * wordsPerCol_ *
+                                            sizeof(uint64_t)));
+    if (!*os_)
+        return Status::ioError("dataset write failed");
+    nextCol_ += n_cols;
+    return Status::okStatus();
+}
+
+Status
+DatasetStreamWriter::appendColumns(const BitColumnMatrix &block)
+{
+    if (block.rows() != rows_)
+        return Status::invalidArgument("dataset block has ",
+                                       block.rows(),
+                                       " rows, writer expects ", rows_);
+    if (block.cols() == 0)
+        return Status::okStatus();
+    return appendColumnsRaw(block.colWords(0), block.cols());
+}
+
+Status
+DatasetStreamWriter::writeLabels(std::span<const float> y)
+{
+    if (finished_ || labelsWritten_)
+        return Status::invalidArgument("dataset labels already written");
+    if (nextCol_ != cols_)
+        return Status::invalidArgument("dataset incomplete: ", nextCol_,
+                                       " of ", cols_,
+                                       " columns written");
+    if (y.size() != rows_)
+        return Status::invalidArgument("dataset labels have ", y.size(),
+                                       " rows, writer expects ", rows_);
+    os_->write(reinterpret_cast<const char *>(y.data()),
+               static_cast<std::streamsize>(y.size() * sizeof(float)));
+    if (!*os_)
+        return Status::ioError("dataset write failed");
+    labelsWritten_ = true;
+    return Status::okStatus();
+}
+
+Status
+DatasetStreamWriter::finish(std::span<const SegmentInfo> segments)
+{
+    if (finished_)
+        return Status::invalidArgument("dataset already finished");
+    if (!labelsWritten_)
+        return Status::invalidArgument(
+            "dataset labels must precede segments");
+    if (segments.size() > rows_)
+        return Status::invalidArgument("implausible segment count ",
+                                       segments.size());
+    writePod<uint64_t>(*os_, segments.size());
+    for (const SegmentInfo &seg : segments) {
+        if (seg.begin > seg.end || seg.end > rows_)
+            return Status::invalidArgument("segment [", seg.begin, ", ",
+                                           seg.end, ") out of range");
+        writePod<uint64_t>(*os_, seg.name.size());
+        os_->write(seg.name.data(),
+                   static_cast<std::streamsize>(seg.name.size()));
+        writePod<uint64_t>(*os_, seg.begin);
+        writePod<uint64_t>(*os_, seg.end);
+    }
+    if (!*os_)
+        return Status::ioError("dataset write failed");
+    finished_ = true;
+    return Status::okStatus();
+}
+
 Status
 trySaveDataset(std::ostream &os, const Dataset &dataset)
 {
-    os.write(magic, sizeof(magic));
-    writePod(os, version);
-    writePod<uint64_t>(os, dataset.X.rows());
-    writePod<uint64_t>(os, dataset.X.cols());
-    for (size_t c = 0; c < dataset.X.cols(); ++c)
-        os.write(reinterpret_cast<const char *>(dataset.X.colWords(c)),
-                 static_cast<std::streamsize>(dataset.X.wordsPerCol() *
-                                              sizeof(uint64_t)));
-    os.write(reinterpret_cast<const char *>(dataset.y.data()),
-             static_cast<std::streamsize>(dataset.y.size() *
-                                          sizeof(float)));
-    writePod<uint64_t>(os, dataset.segments.size());
-    for (const SegmentInfo &seg : dataset.segments) {
-        writePod<uint64_t>(os, seg.name.size());
-        os.write(seg.name.data(),
-                 static_cast<std::streamsize>(seg.name.size()));
-        writePod<uint64_t>(os, seg.begin);
-        writePod<uint64_t>(os, seg.end);
-    }
-    if (!os)
-        return Status::ioError("dataset write failed");
-    return Status::okStatus();
+    // One-shot wrapper over the streaming writer (identical bytes) —
+    // except that pre-existing oversized in-memory datasets, which the
+    // loader could never round-trip anyway, now fail fast at open().
+    StatusOr<DatasetStreamWriter> w = DatasetStreamWriter::open(
+        os, dataset.X.rows(), dataset.X.cols());
+    if (!w.ok())
+        return w.status();
+    Status st = w->appendColumns(dataset.X);
+    if (!st.ok())
+        return st;
+    st = w->writeLabels(dataset.y);
+    if (!st.ok())
+        return st;
+    return w->finish(dataset.segments);
 }
 
 StatusOr<Dataset>

@@ -13,7 +13,9 @@
 #ifndef APOLLO_TRACE_DATASET_IO_HH
 #define APOLLO_TRACE_DATASET_IO_HH
 
+#include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 
 #include "trace/dataset.hh"
@@ -41,6 +43,57 @@ Dataset loadDataset(std::istream &is);
 /** File-path conveniences (throwing wrappers of the try* forms). */
 void saveDatasetFile(const std::string &path, const Dataset &dataset);
 Dataset loadDatasetFile(const std::string &path);
+
+/**
+ * Incremental APDS writer for datasets too large to buffer whole:
+ * generated column blocks stream straight to the output in the order
+ * the format demands (header, packed columns, labels, segments), so
+ * peak RAM is one block, not N x M. The declared dimensions are
+ * validated with overflow-checked arithmetic at open() — the exact
+ * bounds tryLoadDataset enforces on decode — so a writer that opens
+ * successfully can only produce files the loader accepts, and a
+ * generator cannot be tricked into emitting a stream whose header the
+ * decode side would reject as forged.
+ *
+ * trySaveDataset is a one-shot wrapper over this class; the produced
+ * bytes are identical.
+ */
+class DatasetStreamWriter
+{
+  public:
+    /** Validate dims, write the header. The stream must outlive the
+     *  writer. */
+    static StatusOr<DatasetStreamWriter> open(std::ostream &os,
+                                              uint64_t rows,
+                                              uint64_t cols);
+
+    /** Append the next block.cols() packed columns (block.rows() must
+     *  equal the declared rows). */
+    Status appendColumns(const BitColumnMatrix &block);
+
+    /** Zero-copy variant: @p n_cols columns of packed words
+     *  (BitColumnMatrix layout, (rows+63)/64 words per column). */
+    Status appendColumnsRaw(const uint64_t *words, uint64_t n_cols);
+
+    /** All columns must be appended first; labels need rows entries. */
+    Status writeLabels(std::span<const float> y);
+
+    /** Labels must be written first; finalizes the stream. */
+    Status finish(std::span<const SegmentInfo> segments = {});
+
+    uint64_t columnsWritten() const { return nextCol_; }
+
+  private:
+    DatasetStreamWriter(std::ostream &os, uint64_t rows, uint64_t cols);
+
+    std::ostream *os_;
+    uint64_t rows_;
+    uint64_t cols_;
+    uint64_t nextCol_ = 0;
+    size_t wordsPerCol_;
+    bool labelsWritten_ = false;
+    bool finished_ = false;
+};
 
 } // namespace apollo
 

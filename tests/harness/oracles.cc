@@ -12,11 +12,14 @@
 
 #include "harness/differential.hh"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <limits>
 
 #include "apollo.hh"
@@ -26,6 +29,7 @@
 #include "harness/case_gen.hh"
 #include "ml/coordinate_descent.hh"
 #include "ml/feature_view.hh"
+#include "ml/sharded_view.hh"
 #include "ml/solver_path.hh"
 #include "opm/opm_bitparallel.hh"
 #include "opm/opm_simulator.hh"
@@ -33,7 +37,9 @@
 #include "util/popcnt_kernels.hh"
 #include "ref/reference_ga.hh"
 #include "ref/reference_kernels.hh"
+#include "ref/reference_shard.hh"
 #include "ref/reference_solver.hh"
+#include "trace/shard_store.hh"
 #include "trace/stream_reader.hh"
 #include "util/logging.hh"
 
@@ -774,6 +780,209 @@ runTargetQ(uint64_t seed)
     return std::nullopt;
 }
 
+/**
+ * Out-of-core sharded screen pass (docs/INTERNALS.md §13) against its
+ * naive src/ref transcription, at every solver shape class. Checked
+ * properties, strongest first:
+ *  - the sharded per-column stats are bit-identical to the production
+ *    kernels run on the in-RAM matrix (same words, same kernels — the
+ *    determinism contract), and within accumulation-order rounding of
+ *    the per-bit double reference (popcounts integer-exact);
+ *  - the first-path-point strong-rule admission counters transcribe
+ *    the solver's own admission arithmetic exactly, and agree with the
+ *    naive reference on every column whose decision margin exceeds
+ *    the dot-rounding band;
+ *  - a seeded first-path-point fit through the mmap-backed view is
+ *    bit-identical to the unsharded solver, and its solution carries
+ *    an independent naive KKT certificate — in particular every
+ *    screened-out (never-swept) column is provably optimal at zero.
+ */
+std::optional<std::string>
+runShardPrefilter(uint64_t seed)
+{
+    const SolverCase sc = makeSolverCase(seed);
+    const size_t n = sc.X.rows();
+    const size_t m = sc.X.cols();
+    const auto nD = static_cast<double>(n);
+
+    // Shard the case's matrix with seed-varied shard count and write
+    // block granularity; clean the files up on every exit path.
+    const uint32_t shards = static_cast<uint32_t>(
+        1 + hashMix(seed ^ 0x5aad) % std::min<uint64_t>(5, m));
+    const size_t block = 1 + hashMix(seed ^ 0xb10c) % 7;
+    const auto dir = std::filesystem::temp_directory_path() /
+                     fmt("apollo_oracle_shards_%ld",
+                         static_cast<long>(::getpid()));
+    std::filesystem::create_directories(dir);
+    const std::string base =
+        (dir / fmt("case_%016llx",
+                   static_cast<unsigned long long>(seed)))
+            .string();
+    struct Cleanup
+    {
+        std::string base;
+        uint32_t shards;
+        ~Cleanup()
+        {
+            for (uint32_t k = 0; k < shards; ++k)
+                std::filesystem::remove(shardPath(base, k));
+        }
+    } cleanup{base, shards};
+
+    const Status saved = saveShardedMatrix(base, sc.X, shards, block);
+    if (!saved.ok())
+        return fmt("shape=%s: shard write failed: %s", sc.shape.c_str(),
+                   saved.toString().c_str());
+    StatusOr<MappedShardSet> set = MappedShardSet::open(base);
+    if (!set.ok())
+        return fmt("shape=%s: shard open failed: %s", sc.shape.c_str(),
+                   set.status().toString().c_str());
+
+    ShardedFeatureView view(*set,
+                            {.parallel = false, .pool = nullptr});
+    if (const Status st = view.screen(sc.y); !st.ok())
+        return fmt("shape=%s: screen failed: %s", sc.shape.c_str(),
+                   st.toString().c_str());
+    const ShardScreenStats &prod = view.stats();
+    const std::string shape =
+        sc.shape + fmt("+K=%u+block=%zu", shards, block);
+
+    // Bit-identity vs the production kernels on the resident matrix.
+    // gradY is taken at the centered cold residual — the labels after
+    // the solver's first intercept update: the double label mean
+    // narrowed to float, subtracted in float.
+    double label_mu = 0.0;
+    for (const float v : sc.y)
+        label_mu += v;
+    label_mu /= nD;
+    const auto label_muf = static_cast<float>(label_mu);
+    std::vector<float> yc_cold(n);
+    for (size_t i = 0; i < n; ++i)
+        yc_cold[i] = sc.y[i] - label_muf;
+    const BitFeatureView bits(sc.X);
+    for (size_t j = 0; j < m; ++j) {
+        if (static_cast<double>(prod.popcount[j]) != bits.sumSquares(j))
+            return fmt("shape=%s: popcount[%zu]=%llu != kernel %g",
+                       shape.c_str(), j,
+                       static_cast<unsigned long long>(prod.popcount[j]),
+                       bits.sumSquares(j));
+        const double kernel_dot = bits.dot(j, yc_cold.data());
+        if (prod.popcount[j] > 0 && prod.gradY[j] != kernel_dot)
+            return fmt("shape=%s: gradY[%zu]=%a != kernel dot %a",
+                       shape.c_str(), j, prod.gradY[j], kernel_dot);
+    }
+    CdSolver plain(bits, sc.y,
+                   CdSolver::Options{.parallel = false});
+    if (prod.lambdaMax != plain.lambdaMax())
+        return fmt("shape=%s: lambdaMax %a != solver's own pass %a",
+                   shape.c_str(), prod.lambdaMax, plain.lambdaMax());
+
+    // Accumulation-order tolerance vs the naive per-bit reference.
+    const ref::RefScreenStats want = ref::screenStats(bits, sc.y);
+    double ynorm2 = 0.0;
+    for (const float v : sc.y)
+        ynorm2 += static_cast<double>(v) * v;
+    const double ynorm = std::sqrt(ynorm2);
+    for (size_t j = 0; j < m; ++j) {
+        if (prod.popcount[j] != want.popcount[j])
+            return fmt("shape=%s: popcount[%zu] prod=%llu ref=%llu",
+                       shape.c_str(), j,
+                       static_cast<unsigned long long>(prod.popcount[j]),
+                       static_cast<unsigned long long>(want.popcount[j]));
+        const double xnorm =
+            std::sqrt(static_cast<double>(want.popcount[j]));
+        const double tol = 1e-9 * (1.0 + xnorm * ynorm);
+        if (std::abs(prod.gradY[j] - want.gradY[j]) > tol)
+            return fmt("shape=%s: gradY[%zu] prod=%a ref=%a (tol %.3e)",
+                       shape.c_str(), j, prod.gradY[j], want.gradY[j],
+                       tol);
+    }
+    if (std::abs(prod.lambdaMax - want.lambdaMax) >
+        1e-9 * (1.0 + want.lambdaMax + ynorm))
+        return fmt("shape=%s: lambdaMax prod=%a ref=%a", shape.c_str(),
+                   prod.lambdaMax, want.lambdaMax);
+
+    // Admission accounting: the per-shard counters must transcribe the
+    // production rule exactly, and agree with the naive reference on
+    // every column whose margin clears the dot-rounding band.
+    const double factor = PathConfig{}.lambdaFactor;
+    const std::vector<uint64_t> prod_admit =
+        prod.admittedAtFirstPoint(factor);
+    const std::vector<bool> ref_admit =
+        ref::admittedAtFirstPoint(want, n, factor);
+    constexpr double kSlack = 1.0 + 1e-8;
+    const double thresh_prod =
+        (2.0 * factor - 1.0) * prod.lambdaMax * nD;
+    const double thresh_ref =
+        (2.0 * factor - 1.0) * want.lambdaMax * nD;
+    std::vector<uint64_t> recount(shards, 0);
+    for (size_t j = 0; j < m; ++j) {
+        const bool admitted =
+            prod.popcount[j] > 0 &&
+            (thresh_prod <= 0.0 ||
+             std::abs(prod.gradY[j]) * kSlack >= thresh_prod);
+        if (admitted)
+            recount[set->shardOf(j)]++;
+        const double xnorm =
+            std::sqrt(static_cast<double>(want.popcount[j]));
+        const double band =
+            1e-7 * (1.0 + xnorm * ynorm + thresh_ref);
+        const bool borderline =
+            std::abs(std::abs(want.gradY[j]) * kSlack - thresh_ref) <=
+            band;
+        if (!borderline && admitted != ref_admit[j])
+            return fmt("shape=%s: admission[%zu] prod=%d ref=%d "
+                       "(|gradY|=%a thresh=%a)",
+                       shape.c_str(), j, admitted ? 1 : 0,
+                       ref_admit[j] ? 1 : 0,
+                       std::abs(want.gradY[j]), thresh_ref);
+    }
+    for (uint32_t k = 0; k < shards; ++k)
+        if (prod_admit[k] != recount[k])
+            return fmt("shape=%s: shard %u admitted=%llu, per-column "
+                       "recount=%llu",
+                       shape.c_str(), k,
+                       static_cast<unsigned long long>(prod_admit[k]),
+                       static_cast<unsigned long long>(recount[k]));
+
+    // First path point: a seeded fit through the mmap-backed view must
+    // be bit-identical to the unsharded solver, and the solution must
+    // carry an independent naive zero-certificate (every never-swept
+    // column is optimal at zero).
+    if (prod.lambdaMax <= 0.0)
+        return std::nullopt; // constant labels: no path to anchor
+    CdConfig cfg = sc.cfg;
+    if (cfg.penalty.kind != PenaltyKind::Lasso &&
+        cfg.penalty.kind != PenaltyKind::Mcp)
+        cfg.penalty.kind = PenaltyKind::Lasso;
+    cfg.penalty.lambda = factor * prod.lambdaMax;
+    cfg.screen = true;
+    cfg.screenLambdaRef = prod.lambdaMax;
+    // The seed contract models the centered cold residual an intercept
+    // fit screens at (every path driver fits one).
+    cfg.fitIntercept = true;
+
+    const CdResult want_fit = plain.fit(cfg);
+    SolverSeed seedv;
+    seedv.gradY = prod.gradY;
+    seedv.lambdaMax = prod.lambdaMax;
+    CdSolver sharded(view, sc.y,
+                     CdSolver::Options{.parallel = false},
+                     std::move(seedv));
+    const CdResult got = sharded.fit(cfg);
+    if (got.w != want_fit.w || got.intercept != want_fit.intercept)
+        return fmt("shape=%s: sharded fit differs from unsharded "
+                   "(support %zu vs %zu)",
+                   shape.c_str(), got.nonzeros(), want_fit.nonzeros());
+    if (got.sweeps != want_fit.sweeps ||
+        got.strongSize != want_fit.strongSize)
+        return fmt("shape=%s: sharded fit trajectory differs "
+                   "(sweeps %u vs %u, strong %u vs %u)",
+                   shape.c_str(), got.sweeps, want_fit.sweeps,
+                   got.strongSize, want_fit.strongSize);
+    return checkSolver(bits, sc.y, cfg, got, shape + "+first-point");
+}
+
 // ---------------------------------------------------------------------
 // GA training-data generation paths (exact comparison).
 // ---------------------------------------------------------------------
@@ -978,6 +1187,7 @@ oracleRegistry()
         {"solver.cd_counts", runCdCounts},
         {"solver.cd_dense", runCdDense},
         {"solver.target_q", runTargetQ},
+        {"solver.shard_prefilter", runShardPrefilter},
         {"gen.toggle_columns", runToggleColumns},
         {"gen.fitness_power", runFitnessPower},
         {"gen.ga_pipeline", runGaPipeline},

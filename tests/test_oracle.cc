@@ -33,6 +33,7 @@ TEST(OracleRegistry, CoversEveryProductionPath)
         "opm.stream_quantized",  "stream.bitparallel_vs_scalar",
         "solver.cd_bits",        "solver.cd_counts",
         "solver.cd_dense",       "solver.target_q",
+        "solver.shard_prefilter",
         "gen.toggle_columns",    "gen.fitness_power",
         "gen.ga_pipeline",
     };

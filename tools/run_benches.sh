@@ -29,7 +29,19 @@ cmake --build "$BUILD_DIR" -j --target bench_perf_solver \
     --target bench_stream_infer --target bench_perf_ga \
     --target bench_obs_overhead --target bench_serve
 
-"$BUILD_DIR"/bench/bench_perf_solver --out=BENCH_solver.json "$@"
+# Full recordings include the paper-scale out-of-core phase (M=500k
+# sharded selection: RSS bound + shard/thread identity grid). Smoke
+# runs skip it here — `bench_perf_solver --huge --smoke` writes only
+# the out-of-core section, and that path is already guarded by the
+# perf.solver_huge ctest.
+solver_args=(--huge)
+for arg in "$@"; do
+    if [[ "$arg" == "--smoke" ]]; then
+        solver_args=()
+    fi
+done
+"$BUILD_DIR"/bench/bench_perf_solver "${solver_args[@]}" \
+    --out=BENCH_solver.json "$@"
 echo "BENCH_solver.json updated"
 
 "$BUILD_DIR"/bench/bench_stream_infer --out=BENCH_stream.json "$@"
