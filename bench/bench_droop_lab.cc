@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Quality/perf guard for the closed-loop droop-mitigation lab
+ * (src/control, §7/§8.2). Runs the default {workload} x {tau} x {B} x
+ * {policy} x {PDN} grid through the real OPM -> throttle loop on a
+ * tiny trained design and records the Pareto summary plus obs counter
+ * deltas to BENCH_control.json. Gates:
+ *   - coverage: every grid cell produces a row,
+ *   - dominance: some OPM-guided policy strictly reduces droop cycles
+ *     at under 10% IPC loss,
+ *   - determinism: the report is byte-identical when re-run on a
+ *     different thread count.
+ * Usage: bench_droop_lab [--smoke] [--cycles=N] [--out=PATH]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "common.hh"
+
+using namespace apollo;
+using namespace apollo::bench;
+using namespace apollo::control;
+
+namespace {
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** The lab's reference design: tiny netlist, deterministic training
+ *  mix, Q=40 selection — small enough for tier-1, rich enough for the
+ *  burst/phase workloads to droop. */
+ApolloModel
+trainTinyModel(const Netlist &netlist)
+{
+    DatasetBuilder tb(netlist);
+    Xoshiro256StarStar rng(0xf10);
+    for (int i = 0; i < 16; ++i) {
+        auto body = GaGenerator::randomBody(rng, 6, 24);
+        tb.addProgram(Program::makeLoop("t" + std::to_string(i), body,
+                                        3000, rng()),
+                      300);
+    }
+    ApolloTrainConfig cfg;
+    cfg.selection.targetQ = 40;
+    return trainApollo(tb.build(), cfg, "tiny").model;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    uint64_t cycles = 0;
+    std::string out = "BENCH_control.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else if (std::strncmp(argv[i], "--cycles=", 9) == 0)
+            cycles = std::strtoull(argv[i] + 9, nullptr, 10);
+        else if (std::strncmp(argv[i], "--out=", 6) == 0)
+            out = argv[i] + 6;
+    }
+    if (cycles == 0)
+        cycles = smoke ? 800 : 3000;
+
+    std::printf("bench_droop_lab: cycles=%llu%s\n",
+                static_cast<unsigned long long>(cycles),
+                smoke ? " [smoke]" : "");
+
+    const Netlist netlist = DesignBuilder::build(DesignConfig::tiny());
+    const ApolloModel model = trainTinyModel(netlist);
+    std::printf("  trained tiny model: Q=%zu\n", model.proxyIds.size());
+
+    const auto before = obsCounters();
+    const DroopLabConfig cfg = defaultDroopLabConfig(cycles);
+    const double t0 = nowSeconds();
+    StatusOr<DroopLabReport> report = runDroopLab(netlist, model, cfg);
+    const double seconds = nowSeconds() - t0;
+    if (!report.ok()) {
+        std::fprintf(stderr, "FAIL: %s\n",
+                     report.status().toString().c_str());
+        return 1;
+    }
+    report->render(std::cout);
+    std::printf("  lab wall-clock: %.3fs\n", seconds);
+
+    const std::string report_json = report->toJson();
+    std::ofstream os(out);
+    os << "{\n";
+    os << "  \"bench\": \"droop_lab\",\n";
+    os << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n";
+    os << "  \"cycles\": " << cycles << ",\n";
+    os << "  \"seconds\": " << seconds << ",\n";
+    os << "  \"obs\": " << obsDeltaJson(before) << ",\n";
+    os << "  \"report\": " << report_json << "\n";
+    os << "}\n";
+    std::printf("wrote %s\n", out.c_str());
+
+    // Gate 1: full grid coverage.
+    const size_t want_rows = report->gridCells * cfg.pdns.size();
+    if (report->rows.size() != want_rows) {
+        std::fprintf(stderr, "FAIL: %zu rows for %zu grid cells\n",
+                     report->rows.size(), want_rows);
+        return 1;
+    }
+    // Gate 2: some OPM-guided policy dominates no-mitigation.
+    if (!report->hasDominatingPolicy(0.10)) {
+        std::fprintf(stderr,
+                     "FAIL: no policy reduces droop cycles at < 10%% "
+                     "IPC loss\n");
+        return 1;
+    }
+    // Gate 3: byte-identical report on a different thread count.
+    DroopLabConfig two = cfg;
+    two.threads = 2;
+    StatusOr<DroopLabReport> rerun = runDroopLab(netlist, model, two);
+    if (!rerun.ok() || rerun->toJson() != report_json) {
+        std::fprintf(stderr,
+                     "FAIL: report not deterministic across thread "
+                     "counts\n");
+        return 1;
+    }
+    std::printf("gates passed: coverage, dominance, determinism\n");
+    return 0;
+}

@@ -90,10 +90,13 @@
 #include "opm/opm_simulator.hh"
 #include "opm/quantize.hh"
 
-// Flows, streaming engine, droop analysis.
+// Flows, streaming engine, droop analysis, closed-loop control.
 #include "flow/flows.hh"
 #include "flow/stream_engine.hh"
 #include "droop/droop.hh"
+#include "control/closed_loop.hh"
+#include "control/droop_controller.hh"
+#include "control/droop_lab.hh"
 
 // The serving layer (v1): a model registry plus a session manager
 // multiplexing N concurrent trace-to-power streams, with the

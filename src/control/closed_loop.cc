@@ -1,0 +1,112 @@
+#include "control/closed_loop.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "gen/fitness_eval.hh"
+#include "obs/metrics.hh"
+#include "opm/opm_simulator.hh"
+
+namespace apollo::control {
+
+ClosedLoopRunner::ClosedLoopRunner(const Netlist &netlist,
+                                   const QuantizedModel &model,
+                                   const CoreParams &core_params,
+                                   const PowerParams &power_params)
+    : netlist_(netlist), model_(model), coreParams_(core_params),
+      powerParams_(power_params), engine_(netlist), oracle_(netlist,
+                                                           power_params)
+{}
+
+void
+ClosedLoopRunner::packProxyBits(std::span<const ActivityFrame> frames,
+                                size_t i,
+                                std::vector<uint64_t> &words) const
+{
+    std::fill(words.begin(), words.end(), 0);
+    for (size_t q = 0; q < model_.proxyIds.size(); ++q) {
+        if (engine_.toggles(model_.proxyIds[q], frames, i))
+            words[q >> 6] |= 1ULL << (q & 63);
+    }
+}
+
+StatusOr<ClosedLoopResult>
+ClosedLoopRunner::run(const Program &prog, const ClosedLoopConfig &config)
+{
+    if (config.opmWindow == 0 || !std::has_single_bit(config.opmWindow))
+        return Status::invalidArgument(
+            "OPM window must be a power of two, got ", config.opmWindow);
+    if (config.maxCycles == 0)
+        return Status::invalidArgument("closed loop needs maxCycles >= 1");
+    if (Status st = config.controller.validate(); !st.ok())
+        return st;
+
+    OpmSimulator opm(model_, config.opmWindow);
+    const bool controlled =
+        config.controller.policy != ThrottleMode::None;
+    DroopController controller(config.controller);
+
+    ClosedLoopResult result;
+    std::vector<ActivityFrame> &frames = result.frames;
+    frames.reserve(config.maxCycles);
+    result.estPower.reserve(config.maxCycles);
+    std::vector<uint64_t> words((model_.proxyIds.size() + 63) / 64);
+    double held = 0.0;
+
+    TimingCore core(coreParams_);
+    result.stats = core.run(
+        prog, config.maxCycles,
+        [&](const ActivityFrame &f) { frames.push_back(f); },
+        [&](const ActivityFrame &, uint64_t cycle, Throttle &throttle) {
+            packProxyBits(frames, frames.size() - 1, words);
+            const OpmSimulator::Output out = opm.step(words.data());
+            if (out.valid) {
+                held = out.power;
+                controller.observe(cycle, out.power);
+            }
+            result.estPower.push_back(static_cast<float>(held));
+            if (controlled)
+                controller.apply(cycle, throttle);
+        });
+
+    result.truthPower = truthPower(frames);
+    result.triggers = controller.triggers();
+    result.engagedCycles = controller.engagedCycles();
+    APOLLO_COUNT("apollo.control.closed_loop_runs", 1);
+    APOLLO_COUNT("apollo.control.triggers", result.triggers);
+    APOLLO_COUNT("apollo.control.engaged_cycles", result.engagedCycles);
+    return result;
+}
+
+std::vector<float>
+ClosedLoopRunner::replayEstimate(std::span<const ActivityFrame> frames,
+                                 uint32_t opm_window)
+{
+    OpmSimulator opm(model_, opm_window);
+    std::vector<uint64_t> words((model_.proxyIds.size() + 63) / 64);
+    std::vector<float> est;
+    est.reserve(frames.size());
+    double held = 0.0;
+    for (size_t i = 0; i < frames.size(); ++i) {
+        packProxyBits(frames, i, words);
+        const OpmSimulator::Output out = opm.step(words.data());
+        if (out.valid)
+            held = out.power;
+        est.push_back(static_cast<float>(held));
+    }
+    return est;
+}
+
+std::vector<float>
+ClosedLoopRunner::truthPower(std::span<const ActivityFrame> frames)
+{
+    FitnessEvaluator eval(netlist_, engine_, oracle_);
+    std::vector<double> powers;
+    eval.cyclePowers(frames, powers);
+    std::vector<float> out(powers.size());
+    for (size_t i = 0; i < powers.size(); ++i)
+        out[i] = static_cast<float>(powers[i]);
+    return out;
+}
+
+} // namespace apollo::control

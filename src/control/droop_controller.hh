@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The runtime droop controller (§7/§8.2): watches the quantized OPM's
+ * dequantized output stream, differences it into estimated Delta-I, and
+ * pulses an issue-throttle scheme through the core's ControlHook when
+ * the estimate exceeds a trigger — proactive Ldi/dt mitigation driven
+ * by the power meter itself, not by a voltage sensor.
+ *
+ * Contract (INTERNALS.md §14; src/ref/reference_control.cc is the
+ * naive transcription the differential oracle checks against):
+ *
+ *  - observe(c, p) feeds the OPM sample emitted at recorded cycle c.
+ *    Estimated current is p / vdd; a *trigger* fires when the delta
+ *    versus the previous observation exceeds triggerDelta.
+ *  - A trigger at cycle c schedules the throttle for cycles
+ *    [c + 1 + triggerLatency, c + triggerLatency + engageCycles]: the
+ *    +1 models that a decision made in cycle c can constrain issue no
+ *    earlier than the next cycle, and triggerLatency adds the OPM
+ *    pipeline + reaction delay on top.
+ *  - Re-triggering while armed or engaged extends the single pending
+ *    window's release point; the controller never tracks more than one
+ *    window (a retrigger stretches the pulse, as a hardware one-shot
+ *    would).
+ *  - apply(c, throttle) is called once per cycle after observe and
+ *    engages/releases the pulsed throttle constraint for cycle c + 1.
+ */
+
+#ifndef APOLLO_CONTROL_DROOP_CONTROLLER_HH
+#define APOLLO_CONTROL_DROOP_CONTROLLER_HH
+
+#include <cstdint>
+
+#include "uarch/throttle.hh"
+#include "util/status.hh"
+
+namespace apollo::control {
+
+/** Controller configuration. */
+struct DroopControllerConfig
+{
+    /** Nominal voltage used to turn OPM power into current. */
+    double vdd = 0.75;
+    /** Estimated Delta-I (amps) above which a trigger fires. */
+    double triggerDelta = 0.0;
+    /** Cycles between a trigger and the throttle taking effect, on
+     *  top of the unavoidable 1-cycle decision delay. Defaults to the
+     *  OPM pipeline depth. */
+    uint32_t triggerLatency = 2;
+    /** Cycles the pulsed throttle stays engaged per trigger. */
+    uint32_t engageCycles = 6;
+    /** Scheme pulsed while engaged; None disables the controller. */
+    ThrottleMode policy = ThrottleMode::Scheme1;
+    /** Issue cap while engaged (Proportional policy only). */
+    uint32_t proportionalLevel = 1;
+
+    Status validate() const;
+};
+
+/** Trigger/engage state. */
+enum class TriggerState : uint8_t
+{
+    Idle,    ///< no pending window
+    Armed,   ///< triggered, waiting out the latency
+    Engaged, ///< pulsed throttle in force
+};
+
+/** The OPM-driven throttle controller. One instance per core run. */
+class DroopController
+{
+  public:
+    /** @p config must validate (APOLLO_REQUIREd). */
+    explicit DroopController(const DroopControllerConfig &config);
+
+    /** Feed the OPM output sample emitted at recorded cycle @p cycle. */
+    void observe(uint64_t cycle, double est_power);
+
+    /** Drive @p throttle for cycle @p cycle + 1. Call once per cycle,
+     *  after observe() for the same cycle (if any). */
+    void apply(uint64_t cycle, Throttle &throttle);
+
+    TriggerState state() const { return state_; }
+    /** Trigger events seen (including retriggers while engaged). */
+    uint64_t triggers() const { return triggers_; }
+    /** Cycles the pulsed constraint was in force. */
+    uint64_t engagedCycles() const { return engagedCycles_; }
+
+  private:
+    DroopControllerConfig cfg_;
+    bool havePrev_ = false;
+    double prevCurrent_ = 0.0;
+    TriggerState state_ = TriggerState::Idle;
+    uint64_t engageAt_ = 0;
+    uint64_t releaseAfter_ = 0;
+    uint64_t triggers_ = 0;
+    uint64_t engagedCycles_ = 0;
+};
+
+} // namespace apollo::control
+
+#endif // APOLLO_CONTROL_DROOP_CONTROLLER_HH

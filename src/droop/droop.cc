@@ -55,6 +55,20 @@ pearsonD(std::span<const double> a, std::span<const double> b)
 
 } // namespace
 
+double
+percentileCut(std::span<const double> values, double q)
+{
+    APOLLO_REQUIRE(!values.empty(), "percentile cut of empty series");
+    APOLLO_REQUIRE(q >= 0.0 && q <= 1.0,
+                   "percentile must be in [0, 1], got ", q);
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    const size_t index = std::min(
+        sorted.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(sorted.size() - 1)));
+    return sorted[index];
+}
+
 DidtAnalysis
 analyzeDidt(std::span<const float> truth_power,
             std::span<const float> est_power, double vdd,
@@ -99,13 +113,7 @@ analyzeDidt(std::span<const float> truth_power,
     mags.reserve(di_truth.size() - 1);
     for (size_t i = 1; i < di_truth.size(); ++i)
         mags.push_back(std::abs(di_truth[i]));
-    std::vector<double> sorted = mags;
-    std::sort(sorted.begin(), sorted.end());
-    const size_t cut_index = std::min(
-        sorted.size() - 1,
-        static_cast<size_t>(deep_percentile *
-                            static_cast<double>(sorted.size() - 1)));
-    const double cut = sorted[cut_index];
+    const double cut = percentileCut(mags, deep_percentile);
 
     std::vector<double> deep_truth;
     std::vector<double> deep_est;
@@ -120,15 +128,10 @@ analyzeDidt(std::span<const float> truth_power,
 
     // Droop precursors: top-decile positive truth steps; does the OPM
     // estimate also land in its own top decile?
-    std::vector<double> est_sorted(di_est.begin() + 1, di_est.end());
-    std::sort(est_sorted.begin(), est_sorted.end());
     const double est_hi =
-        est_sorted[static_cast<size_t>(0.90 * (est_sorted.size() - 1))];
-    std::vector<double> truth_sorted(di_truth.begin() + 1,
-                                     di_truth.end());
-    std::sort(truth_sorted.begin(), truth_sorted.end());
-    const double truth_hi = truth_sorted[static_cast<size_t>(
-        0.90 * (truth_sorted.size() - 1))];
+        percentileCut(std::span(di_est).subspan(1), 0.90);
+    const double truth_hi =
+        percentileCut(std::span(di_truth).subspan(1), 0.90);
 
     uint64_t deep_pos = 0;
     uint64_t caught = 0;
@@ -178,6 +181,14 @@ simulateWithMitigation(std::span<const float> truth_power,
                    "trace arity mismatch");
     APOLLO_REQUIRE(stretch_factor > 0.0 && stretch_factor <= 1.0,
                    "stretch factor must be in (0, 1]");
+    // A non-positive trigger fires on every flat or falling sample and
+    // a zero stretch window never throttles despite the trigger —
+    // both silently defeat the mitigation, so reject them like
+    // analyzeDidt rejects out-of-range percentiles.
+    APOLLO_REQUIRE(trigger_delta > 0.0,
+                   "trigger delta must be positive, got ", trigger_delta);
+    APOLLO_REQUIRE(stretch_cycles > 0,
+                   "stretch window must be at least 1 cycle");
     PdnModel pdn(pdn_params);
 
     DroopSimResult res;

@@ -27,6 +27,13 @@ std::vector<double> currentFromPower(std::span<const float> power,
 /** Delta-I series (first sample is 0). */
 std::vector<double> deltaI(std::span<const double> current);
 
+/**
+ * Value at quantile @p q of @p values (nearest-rank on the sorted copy,
+ * index clamped to the last element). @p q must be in [0, 1] and
+ * @p values non-empty.
+ */
+double percentileCut(std::span<const double> values, double q);
+
 /** Fig. 17 statistics. */
 struct DidtAnalysis
 {

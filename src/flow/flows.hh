@@ -22,6 +22,7 @@
 
 #include "core/apollo_model.hh"
 #include "flow/stream_engine.hh"
+#include "control/droop_lab.hh"
 #include "gen/ga_generator.hh"
 #include "power/power_oracle.hh"
 #include "trace/toggle_trace.hh"
@@ -152,6 +153,17 @@ StatusOr<TrainingGenReport> generateTrainingSet(
     const Netlist &netlist, const TrainingGenOptions &options,
     const CoreParams &core_params = CoreParams::defaults(),
     const PowerParams &power_params = PowerParams{});
+
+/**
+ * Flow entry for the closed-loop droop-mitigation scenario lab
+ * (src/control, §7/§8.2): sweep {workload} x {tau} x {B} x {policy} x
+ * {PDN} through the real OPM -> throttle loop and report the
+ * droop-cycles-avoided vs IPC-lost Pareto rows. The model is a trained
+ * float model for the netlist; the lab quantizes it per bits setting.
+ * Returns InvalidArgument for a malformed grid. (Implemented in
+ * src/control; re-exported here alongside the other flow entries.)
+ */
+using control::runDroopLab;
 
 } // namespace apollo
 

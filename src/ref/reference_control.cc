@@ -1,0 +1,66 @@
+#include "ref/reference_control.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace apollo::ref {
+
+ControlTranscript
+droopControlTranscript(std::span<const float> est_power,
+                       std::span<const uint8_t> valid,
+                       const ControlParams &params)
+{
+    APOLLO_REQUIRE(est_power.size() == valid.size(),
+                   "power/valid arity mismatch");
+    const size_t n = est_power.size();
+    ControlTranscript out;
+    out.engaged.assign(n, 0);
+
+    // Pass 1: the trigger cycles — deltas between consecutive *valid*
+    // observations of estimated current.
+    std::vector<size_t> trigger_cycles;
+    bool have_prev = false;
+    double prev = 0.0;
+    for (size_t c = 0; c < n; ++c) {
+        if (!valid[c])
+            continue;
+        const double current =
+            static_cast<double>(est_power[c]) / params.vdd;
+        if (have_prev && (current - prev) > params.triggerDelta)
+            trigger_cycles.push_back(c);
+        prev = current;
+        have_prev = true;
+    }
+    out.triggers = trigger_cycles.size();
+
+    // Pass 2: walk the triggers in order, stretching one window at a
+    // time: a trigger that lands while the previous window is still
+    // pending or in force (trigger cycle <= the window's last
+    // constrained cycle) extends that window's release point instead
+    // of opening a second one.
+    size_t ti = 0;
+    while (ti < trigger_cycles.size()) {
+        const uint64_t start =
+            trigger_cycles[ti] + 1 + params.triggerLatency;
+        uint64_t end = start + params.engageCycles - 1;
+        size_t tj = ti + 1;
+        while (tj < trigger_cycles.size() && trigger_cycles[tj] <= end) {
+            end = std::max(end, trigger_cycles[tj] + 1 +
+                                    params.triggerLatency +
+                                    params.engageCycles - 1);
+            tj++;
+        }
+        // engaged[c] marks the decision for cycle c + 1, so the window
+        // [start, end] over *constrained* cycles maps to decision
+        // cycles [start - 1, end - 1].
+        for (uint64_t c = start - 1; c <= end - 1 && c < n; ++c)
+            out.engaged[c] = 1;
+        ti = tj;
+    }
+    for (uint8_t e : out.engaged)
+        out.engagedCycles += e;
+    return out;
+}
+
+} // namespace apollo::ref

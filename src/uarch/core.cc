@@ -280,6 +280,13 @@ CoreStats
 TimingCore::run(const Program &prog, uint64_t max_cycles,
                 const FrameSink &sink)
 {
+    return run(prog, max_cycles, sink, ControlHook{});
+}
+
+CoreStats
+TimingCore::run(const Program &prog, uint64_t max_cycles,
+                const FrameSink &sink, const ControlHook &control)
+{
     const CoreParams &p = params_;
     FunctionalExecutor exec(prog);
     CacheModel l2(p.l2, nullptr);
@@ -745,6 +752,8 @@ TimingCore::run(const Program &prog, uint64_t max_cycles,
 
         if (recording) {
             sink(frame);
+            if (control)
+                control(frame, recorded, throttle);
             stats.cycles++;
             recorded++;
         }

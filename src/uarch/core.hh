@@ -138,6 +138,17 @@ struct CoreStats
 /** Per-cycle frame consumer. */
 using FrameSink = std::function<void(const ActivityFrame &)>;
 
+/**
+ * Runtime control callback, invoked once per *recorded* cycle right
+ * after the frame is sunk. @p cycle is the 0-based recorded cycle
+ * index (matching the sink's frame stream). The hook may mutate the
+ * core's Throttle (engage/release a pulsed scheme); the change takes
+ * effect from the next cycle's issue stage — this is how a droop
+ * controller (src/control) closes the OPM -> issue loop.
+ */
+using ControlHook = std::function<void(const ActivityFrame &,
+                                       uint64_t cycle, Throttle &)>;
+
 /** The timing model. One instance simulates one program end-to-end. */
 class TimingCore
 {
@@ -152,6 +163,11 @@ class TimingCore
      */
     CoreStats run(const Program &prog, uint64_t max_cycles,
                   const FrameSink &sink);
+
+    /** As above, with a per-recorded-cycle control hook that may pulse
+     *  the issue throttle at runtime (empty hook = uncontrolled run). */
+    CoreStats run(const Program &prog, uint64_t max_cycles,
+                  const FrameSink &sink, const ControlHook &control);
 
     /** Convenience: simulate and collect all frames. */
     std::vector<ActivityFrame> collectFrames(const Program &prog,

@@ -2,15 +2,24 @@
  * @file
  * Issue-throttling schemes. The Neoverse N1 TRM describes maximum-power
  * mitigation via instruction throttling; the paper's "throttling_1/2/3"
- * test benchmarks exercise three such schemes. We model three:
- *   Scheme1 — hard cap on total issue width,
- *   Scheme2 — duty cycling (no issue 1 out of every 4 cycles),
- *   Scheme3 — vector-issue rate limited to 1 op per 2 cycles.
+ * test benchmarks exercise three such schemes. We model four:
+ *   Scheme1      — hard cap on total issue width,
+ *   Scheme2      — duty cycling (no issue 1 out of every 4 cycles),
+ *   Scheme3      — vector-issue rate limited to 1 op per 2 cycles,
+ *   Proportional — total issue capped at a runtime-chosen level.
+ *
+ * A Throttle carries two constraints: the *base* mode fixed at
+ * construction (the static configuration the test benchmarks use) and
+ * an optional *pulsed* mode engaged/released at runtime by a controller
+ * (src/control). Each cycle the effective limit is the tighter of the
+ * two, so a droop controller can pulse any scheme on top of whatever
+ * static policy the core was configured with.
  */
 
 #ifndef APOLLO_UARCH_THROTTLE_HH
 #define APOLLO_UARCH_THROTTLE_HH
 
+#include <algorithm>
 #include <cstdint>
 
 namespace apollo {
@@ -19,9 +28,10 @@ namespace apollo {
 enum class ThrottleMode : uint8_t
 {
     None,
-    Scheme1, ///< issue width capped at 2
-    Scheme2, ///< duty cycle: issue blocked every 4th cycle
-    Scheme3, ///< vector issue limited to 1 op per 2 cycles
+    Scheme1,      ///< issue width capped at 2
+    Scheme2,      ///< duty cycle: issue blocked every 4th cycle
+    Scheme3,      ///< vector issue limited to 1 op per 2 cycles
+    Proportional, ///< issue width capped at the engage level
 };
 
 /** Per-cycle throttling decisions. */
@@ -29,36 +39,76 @@ class Throttle
 {
   public:
     explicit Throttle(ThrottleMode mode = ThrottleMode::None)
-        : mode_(mode)
+        : base_(mode)
     {}
 
-    ThrottleMode mode() const { return mode_; }
+    ThrottleMode mode() const { return base_; }
+
+    /**
+     * Pulse @p mode on top of the base constraint (runtime droop
+     * mitigation). @p level only matters for Proportional: the issue
+     * cap while engaged. Re-engaging replaces the pulsed constraint.
+     */
+    void
+    engage(ThrottleMode mode, uint32_t level = 1)
+    {
+        pulsed_ = mode;
+        level_ = level;
+    }
+
+    /** Drop the pulsed constraint; the base mode stays in force. */
+    void release() { pulsed_ = ThrottleMode::None; }
+
+    /** True while a pulsed constraint is engaged. */
+    bool engaged() const { return pulsed_ != ThrottleMode::None; }
+
+    ThrottleMode pulsedMode() const { return pulsed_; }
+    uint32_t pulsedLevel() const { return level_; }
 
     /** Max total ops issueable in @p cycle given base @p issue_width. */
     uint32_t
     maxIssue(uint64_t cycle, uint32_t issue_width) const
     {
-        switch (mode_) {
-          case ThrottleMode::Scheme1:
-            return issue_width < 2 ? issue_width : 2;
-          case ThrottleMode::Scheme2:
-            return (cycle % 4 == 3) ? 0 : issue_width;
-          default:
-            return issue_width;
-        }
+        return std::min(modeMaxIssue(base_, 1, cycle, issue_width),
+                        modeMaxIssue(pulsed_, level_, cycle, issue_width));
     }
 
     /** Max vector ops issueable in @p cycle. */
     uint32_t
     maxVectorIssue(uint64_t cycle, uint32_t vec_width) const
     {
-        if (mode_ == ThrottleMode::Scheme3)
-            return (cycle % 2 == 0) ? 1 : 0;
-        return vec_width;
+        return std::min(modeMaxVector(base_, cycle, vec_width),
+                        modeMaxVector(pulsed_, cycle, vec_width));
     }
 
   private:
-    ThrottleMode mode_;
+    static uint32_t
+    modeMaxIssue(ThrottleMode mode, uint32_t level, uint64_t cycle,
+                 uint32_t issue_width)
+    {
+        switch (mode) {
+          case ThrottleMode::Scheme1:
+            return std::min(issue_width, 2u);
+          case ThrottleMode::Scheme2:
+            return (cycle % 4 == 3) ? 0 : issue_width;
+          case ThrottleMode::Proportional:
+            return std::min(issue_width, level);
+          default:
+            return issue_width;
+        }
+    }
+
+    static uint32_t
+    modeMaxVector(ThrottleMode mode, uint64_t cycle, uint32_t vec_width)
+    {
+        if (mode == ThrottleMode::Scheme3)
+            return std::min(vec_width, (cycle % 2 == 0) ? 1u : 0u);
+        return vec_width;
+    }
+
+    ThrottleMode base_;
+    ThrottleMode pulsed_ = ThrottleMode::None;
+    uint32_t level_ = 1;
 };
 
 } // namespace apollo

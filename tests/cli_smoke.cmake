@@ -22,6 +22,8 @@ run_step(opm --model model.txt --design tiny --bits 10 --emit opm.hh
 run_step(trace --model model.txt --design tiny --cycles 5000
          --out trace.csv --metrics-json metrics.json
          --trace-out spans.json)
+run_step(droop-lab --model model.txt --design tiny --cycles 600
+         --out droop_lab.json)
 
 # The serving path: generate a deterministic request stream, serve it
 # with per-session recording, then replay one record file — the
@@ -52,7 +54,13 @@ if(NOT serve_metrics MATCHES "apollo\\.serve\\.sessions")
     message(FATAL_ERROR "serve metrics snapshot lacks serve counters")
 endif()
 
+file(READ ${WORK_DIR}/droop_lab.json droop_lab)
+if(NOT droop_lab MATCHES "apollo\\.droop_lab\\.v1")
+    message(FATAL_ERROR "droop-lab report lacks its schema marker")
+endif()
+
 foreach(artifact train.apds test.apds model.txt opm.hh trace.csv
+        droop_lab.json
         opm_metrics.json metrics.json spans.json
         serve_requests.ndjson serve_live.ndjson serve_replay.ndjson
         serve_metrics.json serve_rec/s0.ndjson serve_rec/s1.ndjson)

@@ -35,6 +35,8 @@
 #include "opm/opm_simulator.hh"
 #include "opm/quantize.hh"
 #include "util/popcnt_kernels.hh"
+#include "control/droop_controller.hh"
+#include "ref/reference_control.hh"
 #include "ref/reference_ga.hh"
 #include "ref/reference_kernels.hh"
 #include "ref/reference_shard.hh"
@@ -1167,6 +1169,168 @@ runGaPipeline(uint64_t seed)
     return std::nullopt;
 }
 
+// ---------------------------------------------------------------------
+// Control path (droop trigger/engage state machine).
+// ---------------------------------------------------------------------
+
+/**
+ * A generated controller case: an OPM output stream with a valid mask
+ * (all-valid, every-T, or randomly gapped) plus controller parameters.
+ * Power walks randomly with occasional spikes so the differenced
+ * current crosses the trigger in both directions; the trigger delta is
+ * drawn from the same scale so some cases trigger densely (window
+ * merging) and some never.
+ */
+struct ControlCase
+{
+    std::vector<float> power;
+    std::vector<uint8_t> valid;
+    ref::ControlParams params;
+    ThrottleMode policy = ThrottleMode::Scheme1;
+    uint32_t level = 1;
+    std::string shape;
+};
+
+ControlCase
+makeControlCase(uint64_t seed)
+{
+    Xoshiro256StarStar rng(seed);
+    ControlCase c;
+    const size_t n = 50 + rng.nextBounded(351);
+    c.params.vdd = rng.nextRange(0.6, 0.9);
+    c.params.triggerLatency = static_cast<uint32_t>(rng.nextBounded(5));
+    c.params.engageCycles =
+        1 + static_cast<uint32_t>(rng.nextBounded(8));
+    c.params.triggerDelta = rng.nextRange(0.02, 0.8);
+
+    static constexpr ThrottleMode kPolicies[] = {
+        ThrottleMode::Scheme1, ThrottleMode::Scheme2,
+        ThrottleMode::Scheme3, ThrottleMode::Proportional};
+    c.policy = kPolicies[rng.nextBounded(4)];
+    c.level = 1 + static_cast<uint32_t>(rng.nextBounded(3));
+
+    const uint64_t valid_shape = rng.nextBounded(3);
+    c.valid.assign(n, 1);
+    if (valid_shape == 1) {
+        const uint32_t T = 1u << (1 + rng.nextBounded(3));
+        for (size_t i = 0; i < n; ++i)
+            c.valid[i] = ((i + 1) % T == 0) ? 1 : 0;
+        c.shape = "everyT" + std::to_string(T);
+    } else if (valid_shape == 2) {
+        for (size_t i = 0; i < n; ++i)
+            c.valid[i] = rng.nextBounded(4) != 0 ? 1 : 0;
+        c.shape = "gapped";
+    } else {
+        c.shape = "all_valid";
+    }
+    c.shape += "_n" + std::to_string(n);
+
+    double p = rng.nextRange(0.1, 0.6);
+    c.power.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        p += rng.nextRange(-0.08, 0.08);
+        if (rng.nextBounded(12) == 0)
+            p += rng.nextRange(0.2, 0.9); // burst onset
+        if (rng.nextBounded(12) == 0)
+            p -= rng.nextRange(0.2, 0.9); // back to idle
+        p = std::clamp(p, 0.05, 1.5);
+        c.power[i] = static_cast<float>(p);
+    }
+    return c;
+}
+
+/** Replay one case through DroopController + Throttle vs the naive
+ *  reference transcript. */
+std::optional<std::string>
+checkControlCase(const ControlCase &c)
+{
+    control::DroopControllerConfig cfg;
+    cfg.vdd = c.params.vdd;
+    cfg.triggerDelta = c.params.triggerDelta;
+    cfg.triggerLatency = c.params.triggerLatency;
+    cfg.engageCycles = c.params.engageCycles;
+    cfg.policy = c.policy;
+    cfg.proportionalLevel = c.level;
+    control::DroopController ctl(cfg);
+    Throttle throttle;
+
+    const size_t n = c.power.size();
+    std::vector<uint8_t> engaged(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        if (c.valid[i])
+            ctl.observe(i, static_cast<double>(c.power[i]));
+        ctl.apply(i, throttle);
+        engaged[i] = throttle.engaged() ? 1 : 0;
+    }
+
+    const ref::ControlTranscript want =
+        ref::droopControlTranscript(c.power, c.valid, c.params);
+    if (ctl.triggers() != want.triggers)
+        return fmt("shape=%s: triggers prod=%llu ref=%llu",
+                   c.shape.c_str(),
+                   static_cast<unsigned long long>(ctl.triggers()),
+                   static_cast<unsigned long long>(want.triggers));
+    for (size_t i = 0; i < n; ++i)
+        if (engaged[i] != want.engaged[i])
+            return fmt("shape=%s: cycle %zu engaged prod=%d ref=%d "
+                       "(L=%u E=%u)",
+                       c.shape.c_str(), i, engaged[i], want.engaged[i],
+                       c.params.triggerLatency, c.params.engageCycles);
+    if (ctl.engagedCycles() != want.engagedCycles)
+        return fmt("shape=%s: engagedCycles prod=%llu ref=%llu",
+                   c.shape.c_str(),
+                   static_cast<unsigned long long>(ctl.engagedCycles()),
+                   static_cast<unsigned long long>(want.engagedCycles));
+    return std::nullopt;
+}
+
+std::optional<std::string>
+runDroopTrigger(uint64_t seed)
+{
+    ControlCase c = makeControlCase(seed);
+    std::optional<std::string> detail = checkControlCase(c);
+    if (!detail)
+        return std::nullopt;
+
+    const std::function<bool(const ControlCase &)> stillFails =
+        [](const ControlCase &trial) {
+            return checkControlCase(trial).has_value();
+        };
+    const std::vector<std::function<bool(ControlCase &)>> mutators = {
+        [](ControlCase &trial) { // halve the stream
+            if (trial.power.size() <= 4)
+                return false;
+            trial.power.resize(trial.power.size() / 2);
+            trial.valid.resize(trial.power.size());
+            return true;
+        },
+        [](ControlCase &trial) { // drop the reaction latency
+            if (trial.params.triggerLatency == 0)
+                return false;
+            trial.params.triggerLatency = 0;
+            return true;
+        },
+        [](ControlCase &trial) { // shortest engage window
+            if (trial.params.engageCycles == 1)
+                return false;
+            trial.params.engageCycles = 1;
+            return true;
+        },
+        [](ControlCase &trial) { // simplest policy
+            if (trial.policy == ThrottleMode::Scheme1)
+                return false;
+            trial.policy = ThrottleMode::Scheme1;
+            return true;
+        },
+    };
+    c = shrinkCase(std::move(c), stillFails, mutators);
+    detail = checkControlCase(c);
+    if (!detail)
+        return fmt("shape=%s: shrink lost the failure", c.shape.c_str());
+    return fmt("%s [shrunk to n=%zu]", detail->c_str(),
+               c.power.size());
+}
+
 } // namespace
 
 const std::vector<OracleEntry> &
@@ -1191,6 +1355,7 @@ oracleRegistry()
         {"gen.toggle_columns", runToggleColumns},
         {"gen.fitness_power", runFitnessPower},
         {"gen.ga_pipeline", runGaPipeline},
+        {"control.droop_trigger", runDroopTrigger},
     };
     return registry;
 }

@@ -35,7 +35,7 @@ TEST(OracleRegistry, CoversEveryProductionPath)
         "solver.cd_dense",       "solver.target_q",
         "solver.shard_prefilter",
         "gen.toggle_columns",    "gen.fitness_power",
-        "gen.ga_pipeline",
+        "gen.ga_pipeline",       "control.droop_trigger",
     };
     std::vector<std::string> actual;
     for (const OracleEntry &e : oracleRegistry())

@@ -12,6 +12,8 @@
  *                    [--window 32] [--emit opm.hh]
  *   apollo trace     --model model.txt --design n1ish --cycles 1000000
  *                    [--out trace.csv]
+ *   apollo droop-lab --model model.txt --design n1ish [--cycles 3000]
+ *                    [--out report.json]
  *   apollo serve     --model model.txt [--bits 10] [--in reqs.ndjson]
  *                    [--record dir] [--replay dir/s0.ndjson]
  *   apollo serve-gen --model model.txt --sessions 4 --chunks 8
@@ -288,6 +290,52 @@ cmdTrace(const Args &args)
 }
 
 int
+cmdDroopLab(const Args &args)
+{
+    std::ifstream is(args.get("model", "model.txt"));
+    APOLLO_REQUIRE(is.is_open(), "cannot open model file");
+    const ApolloModel model = ApolloModel::load(is);
+    const Netlist netlist =
+        DesignBuilder::build(designByName(args.get("design", "tiny")));
+
+    control::DroopLabConfig cfg = control::defaultDroopLabConfig(
+        static_cast<uint64_t>(args.getInt("cycles", 3000)));
+    cfg.threads = static_cast<uint32_t>(args.getInt("threads", 0));
+    const std::string pctl = args.get("percentile");
+    if (!pctl.empty())
+        cfg.triggerPercentile = std::stod(pctl);
+    cfg.engageCycles =
+        static_cast<uint32_t>(args.getInt("engage", cfg.engageCycles));
+    cfg.triggerLatency = static_cast<uint32_t>(
+        args.getInt("latency", cfg.triggerLatency));
+
+    const StatusOr<control::DroopLabReport> report =
+        runDroopLab(netlist, model, cfg);
+    if (!report.ok())
+        fatal(report.status().toString());
+
+    std::printf("droop lab: %llu closed-loop cells, %zu scenario "
+                "rows (* = Pareto front of avoided-vs-IPC-loss per "
+                "workload x PDN)\n\n",
+                static_cast<unsigned long long>(report->gridCells),
+                report->rows.size());
+    report->render(std::cout);
+    std::printf("\nOPM-guided policy dominating no-mitigation at "
+                "<10%% IPC loss: %s\n",
+                report->hasDominatingPolicy() ? "yes" : "no");
+
+    const std::string out = args.get("out");
+    if (!out.empty()) {
+        std::ofstream os(out);
+        os << report->toJson();
+        if (!os)
+            fatal("cannot write droop-lab report to ", out);
+        std::printf("wrote JSON report to %s\n", out.c_str());
+    }
+    return 0;
+}
+
+int
 cmdServe(const Args &args)
 {
     const std::string model_path = args.get("model");
@@ -444,6 +492,10 @@ usage()
         "           [--bits B] [--window T] [--emit F]\n"
         "  trace    --model F --design D        emulator-assisted flow\n"
         "           [--cycles N] [--out F]\n"
+        "  droop-lab --model F --design D       closed-loop droop\n"
+        "           [--cycles N] [--threads K]  mitigation sweep\n"
+        "           [--percentile P] [--engage E] [--latency L]\n"
+        "           [--out report.json]         (Pareto table)\n"
         "  serve    --model F [--name N]        serve the v1 wire API\n"
         "           [--bits B] [--window T]     (docs/SERVE_SCHEMA.md)\n"
         "           [--in F | --replay F] [--out F] [--record DIR]\n"
@@ -495,6 +547,8 @@ main(int argc, char **argv)
             rc = cmdOpm(args);
         else if (cmd == "trace")
             rc = cmdTrace(args);
+        else if (cmd == "droop-lab")
+            rc = cmdDroopLab(args);
         else if (cmd == "serve")
             rc = cmdServe(args);
         else if (cmd == "serve-gen")

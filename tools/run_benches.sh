@@ -4,6 +4,7 @@
 #   BENCH_stream.json  — streaming pipeline vs batch (throughput + RSS)
 #   BENCH_ga.json      — GA training-data pipeline layers
 #   BENCH_serve.json   — multi-session serving grid (sessions x threads)
+#   BENCH_control.json — closed-loop droop-mitigation lab Pareto sweep
 # Usage: tools/run_benches.sh [--smoke] [extra bench args...]
 #
 # Environment:
@@ -27,7 +28,8 @@ fi
 cmake -B "$BUILD_DIR" -S . "${cmake_flags[@]}"
 cmake --build "$BUILD_DIR" -j --target bench_perf_solver \
     --target bench_stream_infer --target bench_perf_ga \
-    --target bench_obs_overhead --target bench_serve
+    --target bench_obs_overhead --target bench_serve \
+    --target bench_droop_lab
 
 # Full recordings include the paper-scale out-of-core phase (M=500k
 # sharded selection: RSS bound + shard/thread identity grid). Smoke
@@ -55,6 +57,15 @@ echo "BENCH_obs_overhead.json updated"
 
 "$BUILD_DIR"/bench/bench_serve --out=BENCH_serve.json "$@"
 echo "BENCH_serve.json updated"
+
+"$BUILD_DIR"/bench/bench_droop_lab --out=BENCH_control.json "$@"
+echo "BENCH_control.json updated"
+
+# Closed-loop droop-lab guard: re-run through ctest so the perf label
+# stays green on the same tree (coverage + dominance + thread-count
+# determinism gates).
+(cd "$BUILD_DIR" && ctest -R 'perf\.droop_lab' --output-on-failure)
+echo "perf.droop_lab guard passed"
 
 # Bit-parallel kernel ablation guard: re-run through ctest so the perf
 # label stays green on the same tree the benches used (scalar / AVX2 /
